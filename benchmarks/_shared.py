@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures,
+writes the paper-style rendering to ``results/<name>.txt``, prints it,
+and asserts the qualitative shape criteria recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def publish(name: str, text: str) -> None:
+    """Write a rendered table/figure to results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n=== {name} ===\n{text}\n")

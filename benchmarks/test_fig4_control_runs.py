@@ -1,0 +1,50 @@
+"""Figure 4: control runs — equal priorities, no network management.
+
+(a) idle network: latency low (~ms) and flat for both senders;
+(b) with 16 Mbps cross traffic: "performance and predictability
+degrade significantly.  Latency fluctuates widely between a few
+milliseconds to over a second for both streams."
+"""
+
+from repro.experiments.priority_exp import PriorityArm, run_priority_experiment
+from repro.experiments.reporting import render_latency_table, render_series
+
+from _shared import publish
+
+DURATION = 30.0
+
+
+def run_both():
+    idle = run_priority_experiment(PriorityArm.figure4a(), duration=DURATION)
+    congested = run_priority_experiment(
+        PriorityArm.figure4b(), duration=DURATION)
+    return idle, congested
+
+
+def test_fig4_control_runs(benchmark):
+    idle, congested = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    table = render_latency_table({
+        "fig4a (idle)": {
+            name: idle.stats(name) for name in ("sender1", "sender2")
+        },
+        "fig4b (16 Mbps cross)": {
+            name: congested.stats(name) for name in ("sender1", "sender2")
+        },
+    })
+    series_a = render_series(
+        "fig4a sender1 latency (binned mean)", idle.series("sender1", 1.0))
+    series_b = render_series(
+        "fig4b sender1 latency (binned mean)",
+        congested.series("sender1", 1.0))
+    publish("fig4_control_runs", f"{table}\n\n{series_a}\n\n{series_b}")
+
+    # (a): low, flat, symmetric.
+    for name in ("sender1", "sender2"):
+        assert idle.stats(name).mean < 0.02
+        assert idle.stats(name).std < 0.01
+    # (b): latency swings from milliseconds past a second.
+    for name in ("sender1", "sender2"):
+        stats = congested.stats(name)
+        assert stats.minimum < 0.05
+        assert stats.maximum > 1.0
+        assert stats.std > 0.1

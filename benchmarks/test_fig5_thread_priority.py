@@ -1,0 +1,44 @@
+"""Figure 5: thread priorities alone (no network management).
+
+(a) with competing CPU load: "the higher priority task (Sender 1)
+exhibits significantly lower latency than the lower priority task";
+(b) adding network congestion: "thread priorities are not sufficient
+to maintain QoS.  The system becomes unpredictable even with RT-CORBA
+priorities set."
+"""
+
+from repro.experiments.priority_exp import PriorityArm, run_priority_experiment
+from repro.experiments.reporting import render_latency_table
+
+from _shared import publish
+
+DURATION = 30.0
+
+
+def run_both():
+    quiet = run_priority_experiment(PriorityArm.figure5a(), duration=DURATION)
+    congested = run_priority_experiment(
+        PriorityArm.figure5b(), duration=DURATION)
+    return quiet, congested
+
+
+def test_fig5_thread_priority(benchmark):
+    quiet, congested = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    publish("fig5_thread_priority", render_latency_table({
+        "fig5a (CPU load)": {
+            name: quiet.stats(name) for name in ("sender1", "sender2")
+        },
+        "fig5b (CPU load + congestion)": {
+            name: congested.stats(name) for name in ("sender1", "sender2")
+        },
+    }))
+    # (a) thread priority protects the high-priority sender's send path.
+    assert quiet.stats("sender1").mean * 3 < quiet.stats("sender2").mean
+    # (b) but cannot fix the network: both unpredictable, with spikes.
+    for name in ("sender1", "sender2"):
+        assert congested.stats(name).maximum > 0.3
+        assert congested.stats(name).std > 0.05
+    # The high-priority sender no longer reliably wins (possible
+    # priority inversion across the network bottleneck).
+    assert congested.stats("sender1").maximum > 10 * quiet.stats(
+        "sender1").maximum

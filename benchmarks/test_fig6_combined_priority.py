@@ -1,0 +1,43 @@
+"""Figure 6: thread priorities + DSCP under full load.
+
+"Both senders become much more predictable, while Sender 1's stream
+exhibits better performance (lower latency) than Sender 2 and than it
+did with thread priority alone.  Priority-based thread control
+combined with priority-based DiffServ network management is able to
+provide better end-to-end performance and predictability ... than
+either of them can do individually."
+"""
+
+from repro.experiments.priority_exp import PriorityArm, run_priority_experiment
+from repro.experiments.reporting import render_latency_table
+
+from _shared import publish
+
+DURATION = 30.0
+
+
+def run_three():
+    fig5b = run_priority_experiment(
+        PriorityArm.figure5b(), duration=DURATION)
+    fig6 = run_priority_experiment(PriorityArm.figure6(), duration=DURATION)
+    return fig5b, fig6
+
+
+def test_fig6_combined_priority(benchmark):
+    fig5b, fig6 = benchmark.pedantic(run_three, rounds=1, iterations=1)
+    publish("fig6_combined_priority", render_latency_table({
+        "fig5b (threads only)": {
+            name: fig5b.stats(name) for name in ("sender1", "sender2")
+        },
+        "fig6 (threads + DSCP)": {
+            name: fig6.stats(name) for name in ("sender1", "sender2")
+        },
+    }))
+    # Both senders predictable despite CPU load + 16 Mbps congestion.
+    assert fig6.stats("sender1").mean < 0.02
+    assert fig6.stats("sender1").std < 0.01
+    assert fig6.stats("sender2").count > 200  # stream kept flowing
+    # Sender 1 (EF, high thread prio) beats sender 2 (AF, low).
+    assert fig6.stats("sender1").mean < fig6.stats("sender2").mean
+    # And beats its own thread-priority-only latency by a wide margin.
+    assert fig6.stats("sender1").mean < fig5b.stats("sender1").mean / 5

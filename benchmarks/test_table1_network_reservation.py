@@ -1,0 +1,60 @@
+"""Table 1: summary of network reservation experimental results.
+
+All six {no/partial/full reservation} x {filtering off/on} arms, with
+the paper's columns: % frames delivered under load, average latency,
+and standard deviation.
+
+Paper values for the legible cells: no adaptation 0.83 % / 324 ms;
+partial reservation alone 43.9 %; full reservation ~100 % / 190 ms;
+filtered arms ~99-100 % / 171-276 ms.
+"""
+
+from repro.experiments.reservation_net_exp import (
+    all_arms,
+    run_network_reservation_experiment,
+)
+from repro.experiments.reporting import render_table1
+
+from _shared import publish
+
+TIMELINE = dict(duration=300.0, load_start=60.0, load_end=120.0)
+
+
+def run_all():
+    return {
+        arm.name: run_network_reservation_experiment(arm, **TIMELINE)
+        for arm in all_arms()
+    }
+
+
+def test_table1_network_reservation(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        (name,
+         result.delivered_fraction_under_load(),
+         result.latency_under_load())
+        for name, result in results.items()
+    ]
+    jitter = [result.jitter_under_load() for result in results.values()]
+    publish("table1_network_reservation", render_table1(rows, jitter))
+
+    fraction = {
+        name: result.delivered_fraction_under_load()
+        for name, result in results.items()
+    }
+    latency = {
+        name: result.latency_under_load() for name, result in results.items()
+    }
+    # Column shape: delivery ordering across reservation levels.
+    assert fraction["1-none"] < 0.05          # paper: 0.83 %
+    assert 0.25 < fraction["2-partial"] < 0.65  # paper: 43.9 %
+    assert fraction["3-full"] > 0.995         # paper: 100 %
+    # Filtering improves (or preserves) every reservation level.
+    assert fraction["5-partial-filtering"] > fraction["2-partial"]
+    assert fraction["6-full-filtering"] > 0.995
+    # Reservations slash latency and jitter under load.
+    assert latency["3-full"].mean < latency["1-none"].mean / 5
+    assert latency["3-full"].std < latency["1-none"].std
+    # Filtering + partial reservation approaches full-reservation
+    # delivery at a fraction of the reserved bandwidth.
+    assert fraction["5-partial-filtering"] > 0.80

@@ -1,0 +1,174 @@
+"""Command-line experiment runner: ``python -m repro <experiment>``.
+
+Runs any of the paper's experiments with configurable parameters and
+prints the paper-style tables plus ASCII charts — the quickest way to
+poke at a scenario without writing a script.
+
+Examples::
+
+    python -m repro fig4 --duration 20
+    python -m repro fig6
+    python -m repro table1 --duration 120 --load-start 30 --load-end 90
+    python -m repro table2 --duration 60
+    python -m repro fig7 --arm 5-partial-filtering
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.charts import ascii_cumulative, ascii_timeseries
+from repro.experiments.priority_exp import (
+    PriorityArm,
+    all_arms as priority_arms,
+    run_priority_experiment,
+)
+from repro.experiments.reservation_cpu_exp import (
+    all_arms as cpu_arms,
+    run_cpu_reservation_experiment,
+)
+from repro.experiments.reservation_net_exp import (
+    all_arms as network_arms,
+    run_network_reservation_experiment,
+)
+from repro.experiments.reporting import (
+    render_latency_table,
+    render_table1,
+    render_table2,
+)
+
+
+def _cmd_priority(args: argparse.Namespace, arms: List[PriorityArm]) -> int:
+    results = {}
+    for arm in arms:
+        print(f"running {arm.name} ({args.duration:.0f}s simulated) ...",
+              file=sys.stderr)
+        results[arm.name] = run_priority_experiment(
+            arm, duration=args.duration, seed=args.seed)
+    print(render_latency_table({
+        name: {s: result.stats(s) for s in ("sender1", "sender2")}
+        for name, result in results.items()
+    }))
+    if args.chart:
+        for name, result in results.items():
+            samples = list(zip(result.latency["sender1"].series.times,
+                               result.latency["sender1"].series.values))
+            print()
+            print(ascii_timeseries(f"{name} / sender1 latency", samples))
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    return _cmd_priority(args, [PriorityArm.figure4a(),
+                                PriorityArm.figure4b()])
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    return _cmd_priority(args, [PriorityArm.figure5a(),
+                                PriorityArm.figure5b()])
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    return _cmd_priority(args, [PriorityArm.figure5b(),
+                                PriorityArm.figure6()])
+
+
+def _cmd_all_priority(args: argparse.Namespace) -> int:
+    return _cmd_priority(args, priority_arms())
+
+
+def _network_arm(name: Optional[str]):
+    chosen = network_arms()
+    if name is None:
+        return chosen
+    matches = [arm for arm in chosen if arm.name == name]
+    if not matches:
+        names = ", ".join(arm.name for arm in chosen)
+        raise SystemExit(f"unknown arm {name!r}; choose from: {names}")
+    return matches
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    rows = []
+    for arm in _network_arm(args.arm):
+        print(f"running {arm.name} ...", file=sys.stderr)
+        result = run_network_reservation_experiment(
+            arm, duration=args.duration, load_start=args.load_start,
+            load_end=args.load_end, seed=args.seed)
+        rows.append((arm.name,
+                     result.delivered_fraction_under_load(),
+                     result.latency_under_load()))
+    print(render_table1(rows))
+    return 0
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    for arm in _network_arm(args.arm):
+        print(f"running {arm.name} ...", file=sys.stderr)
+        result = run_network_reservation_experiment(
+            arm, duration=args.duration, load_start=args.load_start,
+            load_end=args.load_end, seed=args.seed)
+        rows = result.cumulative_counts(bin_width=args.duration / 30)
+        print()
+        print(ascii_cumulative(f"Fig 7 — {arm.name}", rows))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    stats = {}
+    for arm in cpu_arms():
+        print(f"running {arm.name} ...", file=sys.stderr)
+        result = run_cpu_reservation_experiment(
+            arm, duration=args.duration, seed=args.seed)
+        stats[arm.name] = result.algorithm_stats
+    print(render_table2(stats))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's experiments from the command line.",
+    )
+    parser.add_argument("--seed", type=int, default=1,
+                        help="root random seed (default 1)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name, func, help_text, duration):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--duration", type=float, default=duration,
+                       help=f"simulated seconds (default {duration:g})")
+        p.set_defaults(func=func)
+        return p
+
+    for name, func, help_text in (
+        ("fig4", _cmd_fig4, "control runs (idle vs congested)"),
+        ("fig5", _cmd_fig5, "thread priorities alone"),
+        ("fig6", _cmd_fig6, "thread priorities + DSCP"),
+        ("priority-all", _cmd_all_priority, "all five section 5.1 arms"),
+    ):
+        p = add(name, func, help_text, 30.0)
+        p.add_argument("--chart", action="store_true",
+                       help="also draw ASCII latency charts")
+
+    for name, func in (("table1", _cmd_table1), ("fig7", _cmd_fig7)):
+        p = add(name, func, "network reservation experiment", 300.0)
+        p.add_argument("--load-start", type=float, default=60.0)
+        p.add_argument("--load-end", type=float, default=120.0)
+        p.add_argument("--arm", default=None,
+                       help="run a single arm (e.g. 5-partial-filtering)")
+
+    add("table2", _cmd_table2, "CPU reservation experiment", 120.0)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,60 @@
+"""The paper's primary contribution: integrated end-to-end QoS control.
+
+Everything below this package exists in layered isolation — priorities
+in the OS substrate, DSCPs and reservations in the network, CORBA
+priorities in the ORB, contracts in QuO.  This package couples them,
+as the paper does, into two composable end-to-end approaches plus
+their combination:
+
+``binding``
+    End-to-end **priority** binding: one CORBA priority drives client
+    thread priority, GIOP service-context propagation, server dispatch
+    lane priority, and the DiffServ codepoint (Fig 2's propagation
+    chain).
+
+``policies`` / ``manager``
+    Policy objects (priority-based, reservation-based, combined) and
+    the :class:`EndToEndQoSManager` that applies them to applications,
+    threads, and flows — including the paper's section 6 research
+    direction of letting priorities drive who gets reservations.
+
+``adaptation``
+    The contract-driven frame-filtering qosket: the application-level
+    adaptation the paper couples with reservations in Fig 7/Table 1.
+
+``metrics``
+    Latency/jitter/delivery recorders producing exactly the statistics
+    the paper's tables report.
+"""
+
+from repro.core.adaptation import FrameFilteringQosket
+from repro.core.binding import EndToEndPriorityBinding, PropagationHop
+from repro.core.manager import EndToEndQoSManager, ManagedFlow
+from repro.core.metrics import (
+    DeliveryRecorder,
+    LatencyRecorder,
+    SeriesStats,
+    TimeSeries,
+)
+from repro.core.policies import (
+    CombinedPolicy,
+    PriorityPolicy,
+    QosPolicyError,
+    ReservationPolicy,
+)
+
+__all__ = [
+    "CombinedPolicy",
+    "DeliveryRecorder",
+    "EndToEndPriorityBinding",
+    "EndToEndQoSManager",
+    "FrameFilteringQosket",
+    "LatencyRecorder",
+    "ManagedFlow",
+    "PriorityPolicy",
+    "PropagationHop",
+    "QosPolicyError",
+    "ReservationPolicy",
+    "SeriesStats",
+    "TimeSeries",
+]

@@ -1,0 +1,104 @@
+"""ASCII chart rendering for figure-shaped results.
+
+The paper's figures are latency-over-time scatter plots and cumulative
+delivery curves.  These renderers produce terminal-friendly versions
+so a benchmark run can be eyeballed against the paper without any
+plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+
+def ascii_timeseries(
+    title: str,
+    series: Sequence[Tuple[float, float]],
+    width: int = 64,
+    height: int = 16,
+    unit: str = "ms",
+    scale: float = 1e3,
+    log_y: bool = True,
+) -> str:
+    """Render (time, value) pairs as a scatter chart.
+
+    ``log_y`` (default) suits latency data whose interesting structure
+    spans milliseconds to seconds — exactly the Fig 4(b) situation.
+    """
+    if not series:
+        return f"{title}\n  (no data)"
+    times = [t for t, _ in series]
+    values = [v * scale for _, v in series]
+    t_min, t_max = min(times), max(times)
+    positive = [v for v in values if v > 0]
+    floor = min(positive) if positive else 1e-9
+    v_max = max(values) if max(values) > 0 else 1.0
+
+    def y_of(value: float) -> int:
+        if log_y:
+            value = max(value, floor)
+            span = math.log10(v_max / floor) or 1.0
+            fraction = math.log10(value / floor) / span
+        else:
+            fraction = value / v_max if v_max else 0.0
+        return min(height - 1, max(0, int(round(fraction * (height - 1)))))
+
+    def x_of(time: float) -> int:
+        span = (t_max - t_min) or 1.0
+        return min(width - 1, max(0, int(round(
+            (time - t_min) / span * (width - 1)))))
+
+    grid = [[" "] * width for _ in range(height)]
+    for time, value in zip(times, values):
+        grid[height - 1 - y_of(value)][x_of(time)] = "*"
+
+    axis = "log" if log_y else "linear"
+    top_label = f"{v_max:.3g} {unit}"
+    bottom_label = f"{floor:.3g} {unit}" if log_y else f"0 {unit}"
+    lines = [f"{title}  (y: {axis})"]
+    for row_index, row in enumerate(grid):
+        label = top_label if row_index == 0 else (
+            bottom_label if row_index == height - 1 else "")
+        lines.append(f"{label:>12} |{''.join(row)}")
+    lines.append(" " * 13 + "+" + "-" * width)
+    lines.append(f"{'':13} {t_min:<10.1f}{'time (s)':^{width - 20}}{t_max:>9.1f}")
+    return "\n".join(lines)
+
+
+def ascii_cumulative(
+    title: str,
+    rows: Sequence[Tuple[float, int, int]],
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Render Fig 7-style cumulative (time, sent, received) curves.
+
+    Sent is drawn with ``.``, received with ``#`` (received overdraws
+    sent where they coincide — a visibly solid curve means no loss).
+    """
+    if not rows:
+        return f"{title}\n  (no data)"
+    t_max = rows[-1][0] or 1.0
+    peak = max(sent for _, sent, _ in rows) or 1
+
+    def plot(grid: List[List[str]], time: float, count: int,
+             glyph: str) -> None:
+        x = min(width - 1, int(round(time / t_max * (width - 1))))
+        y = min(height - 1, int(round(count / peak * (height - 1))))
+        grid[height - 1 - y][x] = glyph
+
+    grid = [[" "] * width for _ in range(height)]
+    for time, sent, _ in rows:
+        plot(grid, time, sent, ".")
+    for time, _, received in rows:
+        plot(grid, time, received, "#")
+
+    lines = [f"{title}   (. sent, # received)"]
+    for row_index, row in enumerate(grid):
+        label = str(peak) if row_index == 0 else (
+            "0" if row_index == height - 1 else "")
+        lines.append(f"{label:>8} |{''.join(row)}")
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(f"{'':9} 0{'time (s)':^{width - 10}}{t_max:>7.0f}")
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Media substrate: video frame models and image processing.
+
+The paper's application is video: MPEG-1 streams ("approximately
+1.2 Mbps for 30 fps") flowing from sensor sources through distributors
+to displays and an automated target recognition (ATR) stage that runs
+Kirsch, Prewitt and Sobel edge detectors over PPM images.
+
+``mpeg``
+    A synthetic MPEG-1-like stream model: GOP structure with I/P/B
+    frames whose sizes follow the usual I >> P > B relationship and
+    whose aggregate rate hits a configured bitrate.
+
+``filtering``
+    QuO-style frame filtering: reduce a 30 fps stream to 10 fps (drop
+    B frames) or 2 fps (I frames only), the paper's adaptation knob.
+
+``ppm``
+    A real PPM (P6) codec and a synthetic image generator.
+
+``edge``
+    Real numpy implementations of the Kirsch, Prewitt and Sobel edge
+    detectors (the paper's Table 2 workload, from the TIP library).
+"""
+
+from repro.media.edge import (
+    EDGE_DETECTORS,
+    kirsch,
+    prewitt,
+    relative_costs,
+    sobel,
+)
+from repro.media.filtering import FrameFilter, frames_per_second
+from repro.media.mpeg import Frame, FrameType, GopStructure, MpegStream
+from repro.media.ppm import decode_ppm, encode_ppm, synthetic_image
+
+__all__ = [
+    "EDGE_DETECTORS",
+    "Frame",
+    "FrameFilter",
+    "FrameType",
+    "GopStructure",
+    "MpegStream",
+    "decode_ppm",
+    "encode_ppm",
+    "frames_per_second",
+    "kirsch",
+    "prewitt",
+    "relative_costs",
+    "sobel",
+    "synthetic_image",
+]

@@ -1,0 +1,102 @@
+"""PPM (P6) image codec and synthetic image generation.
+
+The paper's CPU-reservation experiment streams "four images in PPM
+format, 400x250 pixels, 300,060 bytes, and in RGB color" to the ATR
+server.  This module provides a real binary-PPM encoder/decoder and a
+synthetic-scene generator with geometric "targets" so that the edge
+detectors in :mod:`repro.media.edge` have actual edges to find.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: The paper's image geometry.
+PAPER_IMAGE_SIZE = (400, 250)  # (width, height)
+
+
+def encode_ppm(image: np.ndarray) -> bytes:
+    """Encode an (H, W, 3) uint8 array as binary PPM (P6)."""
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3) RGB array, got {image.shape}")
+    if image.dtype != np.uint8:
+        raise ValueError(f"expected uint8 pixels, got {image.dtype}")
+    height, width = image.shape[:2]
+    header = f"P6\n{width} {height}\n255\n".encode("ascii")
+    return header + image.tobytes()
+
+
+def decode_ppm(data: bytes) -> np.ndarray:
+    """Decode binary PPM (P6) bytes into an (H, W, 3) uint8 array."""
+    if not data.startswith(b"P6"):
+        raise ValueError("not a binary PPM (P6) image")
+    # Parse header fields, honoring comment lines.
+    fields = []
+    offset = 2
+    while len(fields) < 3:
+        while offset < len(data) and data[offset:offset + 1].isspace():
+            offset += 1
+        if data[offset:offset + 1] == b"#":
+            while offset < len(data) and data[offset:offset + 1] != b"\n":
+                offset += 1
+            continue
+        start = offset
+        while offset < len(data) and not data[offset:offset + 1].isspace():
+            offset += 1
+        fields.append(int(data[start:offset]))
+    offset += 1  # single whitespace after maxval
+    width, height, maxval = fields
+    if maxval != 255:
+        raise ValueError(f"only maxval 255 supported, got {maxval}")
+    expected = width * height * 3
+    pixels = data[offset:offset + expected]
+    if len(pixels) != expected:
+        raise ValueError(
+            f"truncated PPM: expected {expected} pixel bytes, got {len(pixels)}"
+        )
+    return np.frombuffer(pixels, dtype=np.uint8).reshape(height, width, 3).copy()
+
+
+def synthetic_image(
+    size: Tuple[int, int] = PAPER_IMAGE_SIZE,
+    targets: int = 3,
+    seed: int = 0,
+    noise: float = 8.0,
+) -> np.ndarray:
+    """Generate a synthetic sensor image with geometric targets.
+
+    The scene is a smooth gradient background with bright rectangles
+    and circles ("targets") plus Gaussian sensor noise — enough edge
+    structure that Kirsch/Prewitt/Sobel produce meaningful responses.
+
+    Returns an (H, W, 3) uint8 array sized ``size`` = (width, height).
+    """
+    width, height = size
+    rng = random.Random(seed)
+    yy, xx = np.mgrid[0:height, 0:width]
+    background = (
+        60
+        + 40 * np.sin(xx / width * np.pi)
+        + 30 * np.cos(yy / height * np.pi)
+    )
+    scene = np.repeat(background[..., None], 3, axis=2)
+    for _ in range(targets):
+        cx = rng.randrange(width // 8, 7 * width // 8)
+        cy = rng.randrange(height // 8, 7 * height // 8)
+        brightness = rng.randrange(150, 240)
+        if rng.random() < 0.5:
+            w = rng.randrange(width // 20, width // 6)
+            h = rng.randrange(height // 20, height // 6)
+            scene[max(0, cy - h): cy + h, max(0, cx - w): cx + w, :] = brightness
+        else:
+            radius = rng.randrange(min(width, height) // 20,
+                                   min(width, height) // 8)
+            mask = (xx - cx) ** 2 + (yy - cy) ** 2 <= radius ** 2
+            scene[mask] = brightness
+    if noise > 0:
+        generator = np.random.default_rng(seed)
+        scene = scene + generator.normal(0.0, noise, scene.shape)
+    return np.clip(scene, 0, 255).astype(np.uint8)

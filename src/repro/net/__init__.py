@@ -1,0 +1,84 @@
+"""Simulated network substrate.
+
+Models the paper's testbed network: store-and-forward links, routers
+with configurable queue disciplines, DiffServ per-hop behaviours
+(section 3.2), and IntServ/RSVP per-flow reservations (section 3.4).
+
+Layering (bottom up):
+
+``packet`` / ``diffserv``
+    IP-like packets carrying a DSCP + ECN field; codepoint definitions.
+
+``queues``
+    Egress queue disciplines: tail-drop FIFO, DiffServ strict-priority
+    bands, and a guaranteed-rate discipline with token-bucket policing
+    for IntServ reservations.
+
+``link`` / ``router`` / ``nic``
+    Store-and-forward devices.  Routers forward by destination host
+    name and intercept RSVP signaling hop-by-hop.
+
+``topology``
+    The :class:`Network` builder: attach hosts, create routers, wire
+    duplex links, compute shortest-path routes.
+
+``transport``
+    UDP-like datagram sockets and a TCP-like reliable, in-order stream
+    with retransmission — the ORB's GIOP connections ride on the
+    latter, A/V media flows on the former.
+
+``intserv``
+    RSVP PATH/RESV signaling agents with per-hop admission control.
+
+``traffic``
+    Cross-traffic generators used to congest the experiments.
+"""
+
+from repro.net.diffserv import Dscp, PhbClass, classify
+from repro.net.intserv import (
+    FlowSpec,
+    Reservation,
+    ReservationError,
+    RsvpAgent,
+)
+from repro.net.link import Interface, Link
+from repro.net.nic import Nic
+from repro.net.packet import Packet, Protocol
+from repro.net.queues import (
+    DiffServQueue,
+    FifoQueue,
+    GuaranteedRateQueue,
+    QueueDiscipline,
+    TokenBucket,
+)
+from repro.net.router import Router
+from repro.net.topology import Network
+from repro.net.traffic import CbrTrafficSource, PoissonTrafficSource
+from repro.net.transport import DatagramSocket, StreamConnection, StreamListener
+
+__all__ = [
+    "CbrTrafficSource",
+    "DatagramSocket",
+    "DiffServQueue",
+    "Dscp",
+    "FifoQueue",
+    "FlowSpec",
+    "GuaranteedRateQueue",
+    "Interface",
+    "Link",
+    "Network",
+    "Nic",
+    "Packet",
+    "PhbClass",
+    "PoissonTrafficSource",
+    "Protocol",
+    "QueueDiscipline",
+    "Reservation",
+    "ReservationError",
+    "Router",
+    "RsvpAgent",
+    "StreamConnection",
+    "StreamListener",
+    "TokenBucket",
+    "classify",
+]

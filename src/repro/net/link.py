@@ -1,0 +1,152 @@
+"""Interfaces and point-to-point links.
+
+An :class:`Interface` is one device's attachment to a link: it owns the
+egress queue discipline and a transmitter that serializes packets at
+the link bandwidth.  A :class:`Link` wires two interfaces together with
+a propagation delay, giving a full-duplex point-to-point segment (each
+direction has its own queue and transmitter, like real Ethernet).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.kernel import Kernel
+from repro.net.packet import Packet
+from repro.net.queues import FifoQueue, QueueDiscipline
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.topology import Device
+
+
+class Interface:
+    """A device port: egress qdisc + transmitter onto one link direction."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        owner: "Device",
+        name: str,
+        qdisc: Optional[QueueDiscipline] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.owner = owner
+        self.name = name
+        self.qdisc = qdisc if qdisc is not None else FifoQueue()
+        self.link: Optional["Link"] = None
+        self.peer: Optional["Interface"] = None
+        self._busy = False
+        #: Bits pushed onto the wire (observability).
+        self.bits_sent = 0
+        #: Packets fully received from the wire.
+        self.packets_received = 0
+
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> bool:
+        """Enqueue ``packet`` for transmission; False if tail-dropped."""
+        if self.link is None:
+            raise RuntimeError(f"interface {self.name!r} is not linked")
+        accepted = self.qdisc.enqueue(packet)
+        if accepted:
+            self._kick()
+        return accepted
+
+    def _kick(self) -> None:
+        if self._busy:
+            return
+        assert self.link is not None
+        if not self.link.up:
+            # The transmitter idles while the link is down; restore()
+            # kicks it again.  Queued packets survive the outage.
+            return
+        packet = self.qdisc.dequeue()
+        if packet is None:
+            return
+        self._busy = True
+        tx_seconds = packet.size_bits / self.link.bandwidth_bps
+        self.kernel.schedule(tx_seconds, self._transmit_done, packet)
+
+    def _transmit_done(self, packet: Packet) -> None:
+        self._busy = False
+        assert self.link is not None and self.peer is not None
+        if not self.link.up:
+            # The link died mid-transmission: the frame is lost.
+            self.link.packets_lost += 1
+            self._kick()
+            return
+        self.bits_sent += packet.size_bits
+        self.kernel.schedule(self.link.delay, self.peer._deliver, packet)
+        self._kick()
+
+    def _deliver(self, packet: Packet) -> None:
+        self.packets_received += 1
+        packet.hops += 1
+        self.owner.receive(packet, self)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.qdisc)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Interface {self.owner.name}.{self.name}>"
+
+
+class Link:
+    """A full-duplex point-to-point link between two interfaces.
+
+    Parameters
+    ----------
+    bandwidth_bps:
+        Serialization rate in bits per second (e.g. ``10e6`` for the
+        paper's 10 Mbps Ethernet).
+    delay:
+        One-way propagation delay in seconds.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        a: Interface,
+        b: Interface,
+        bandwidth_bps: float,
+        delay: float = 50e-6,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.kernel = kernel
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.delay = float(delay)
+        self.a = a
+        self.b = b
+        #: Failure-injection state; see :meth:`fail` / :meth:`restore`.
+        self.up = True
+        #: Packets lost on the wire while the link was down.
+        self.packets_lost = 0
+        a.link = self
+        b.link = self
+        a.peer = b
+        b.peer = a
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Cut the link: everything currently on (or put on) the wire
+        is lost until :meth:`restore`.  Queued packets stay queued."""
+        self.up = False
+
+    def restore(self) -> None:
+        """Bring the link back and restart both transmitters."""
+        if self.up:
+            return
+        self.up = True
+        self.a._kick()
+        self.b._kick()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Link {self.a.owner.name}<->{self.b.owner.name} "
+            f"{self.bandwidth_bps/1e6:.1f}Mbps>"
+        )

@@ -1,0 +1,105 @@
+"""IP-like packets.
+
+A :class:`Packet` is addressed by *host name* and *port* (this network
+does not need a numeric addressing plan), and carries the two header
+fields the paper's mechanisms act on: the 6-bit DiffServ codepoint and
+the 2-bit ECN field (section 3.2: "An IP header has an 8 bit DiffServ
+field that encodes router-level QoS into six bits of DiffServ Codepoint
+... and two bits of Explicit Congestion Notification").
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Optional
+
+from repro.net.diffserv import Dscp
+
+_packet_ids = itertools.count(1)
+
+#: Fixed per-packet header overhead (IP + transport), in bytes.
+HEADER_BYTES = 40
+
+#: Conventional Ethernet MTU used when transports fragment, in bytes.
+MTU_BYTES = 1500
+
+
+class Protocol(enum.Enum):
+    """Transport protocol demultiplexing key."""
+
+    UDP = "udp"
+    TCP = "tcp"
+    RSVP = "rsvp"
+
+
+class Packet:
+    """One simulated datagram.
+
+    ``payload`` is opaque application data (bytes or any Python object);
+    ``payload_bytes`` sets the simulated size independently of the real
+    payload so that, e.g., a synthetic video frame object can "weigh"
+    12 kB on the wire.
+    """
+
+    __slots__ = (
+        "packet_id",
+        "src",
+        "dst",
+        "src_port",
+        "dst_port",
+        "protocol",
+        "payload",
+        "payload_bytes",
+        "dscp",
+        "ecn",
+        "flow_id",
+        "created_at",
+        "hops",
+    )
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        src_port: int,
+        dst_port: int,
+        protocol: Protocol,
+        payload: Any = None,
+        payload_bytes: int = 0,
+        dscp: Dscp = Dscp.BE,
+        flow_id: Optional[str] = None,
+        created_at: float = 0.0,
+    ) -> None:
+        self.packet_id = next(_packet_ids)
+        self.src = src
+        self.dst = dst
+        self.src_port = int(src_port)
+        self.dst_port = int(dst_port)
+        self.protocol = protocol
+        self.payload = payload
+        self.payload_bytes = int(payload_bytes)
+        self.dscp = dscp
+        #: ECN congestion-experienced mark (set by AQM-capable queues).
+        self.ecn = False
+        #: Flow identity used by IntServ classifiers; defaults to the
+        #: 5-tuple-ish string so unrelated traffic never collides.
+        self.flow_id = flow_id or f"{src}:{src_port}->{dst}:{dst_port}"
+        self.created_at = created_at
+        #: Number of store-and-forward hops traversed (observability).
+        self.hops = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return self.payload_bytes + HEADER_BYTES
+
+    @property
+    def size_bits(self) -> int:
+        return self.size_bytes * 8
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Packet {self.packet_id} {self.src}:{self.src_port}->"
+            f"{self.dst}:{self.dst_port} {self.protocol.value} "
+            f"{self.size_bytes}B dscp={self.dscp.name}>"
+        )

@@ -1,0 +1,79 @@
+"""Store-and-forward routers.
+
+A router forwards packets by destination host name using a routing
+table computed by :class:`repro.net.topology.Network`.  Two behaviours
+beyond plain forwarding matter for the paper:
+
+* **DiffServ** — the router does not mark or reorder itself; its egress
+  interfaces are configured with :class:`~repro.net.queues.DiffServQueue`
+  (or plain FIFO for the non-DiffServ control arms).  Whether the
+  "router machine" honours DSCPs is purely a queue-discipline choice,
+  exactly as in the testbed.
+
+* **RSVP interception** — PATH/RESV signaling packets are addressed to
+  the flow endpoints but must be processed hop-by-hop (router alert).
+  The router hands them to its :class:`~repro.net.intserv.RsvpAgent`,
+  which performs admission control and installs token buckets on the
+  egress :class:`~repro.net.queues.GuaranteedRateQueue`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.sim.kernel import Kernel
+from repro.net.link import Interface
+from repro.net.packet import Packet, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.intserv import RsvpAgent
+
+
+class Router:
+    """A packet forwarder with per-destination routing.
+
+    Interfaces are created by :class:`repro.net.topology.Network` when
+    links are wired; the routing table maps destination host names to
+    egress interfaces.
+    """
+
+    def __init__(self, kernel: Kernel, name: str) -> None:
+        self.kernel = kernel
+        self.name = name
+        self.interfaces: Dict[str, Interface] = {}
+        self.routes: Dict[str, Interface] = {}
+        #: Packets forwarded (observability).
+        self.forwarded = 0
+        #: Packets dropped for lack of a route.
+        self.unroutable = 0
+        #: RSVP agent; installed by the Network when IntServ is enabled.
+        self.rsvp_agent: Optional["RsvpAgent"] = None
+
+    # ------------------------------------------------------------------
+    def add_interface(self, interface: Interface) -> None:
+        self.interfaces[interface.name] = interface
+
+    def set_route(self, destination: str, interface: Interface) -> None:
+        self.routes[destination] = interface
+
+    def egress_for(self, destination: str) -> Optional[Interface]:
+        return self.routes.get(destination)
+
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet, ingress: Interface) -> None:
+        """Process a packet arriving on ``ingress``."""
+        if packet.protocol is Protocol.RSVP and self.rsvp_agent is not None:
+            self.rsvp_agent.handle_transit(packet, ingress)
+            return
+        self.forward(packet)
+
+    def forward(self, packet: Packet) -> None:
+        egress = self.routes.get(packet.dst)
+        if egress is None:
+            self.unroutable += 1
+            return
+        self.forwarded += 1
+        egress.send(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Router {self.name!r} ifaces={list(self.interfaces)}>"

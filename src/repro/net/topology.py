@@ -1,0 +1,222 @@
+"""Network construction and routing.
+
+The :class:`Network` builder wires hosts (via their NICs) and routers
+into an arbitrary topology of full-duplex links, then computes static
+shortest-path routes (hop count) for every host destination — the
+simulated analogue of the testbed's statically configured LAN.
+
+Queue disciplines are chosen *per link direction* at wiring time, which
+is how experiments flip a topology between best-effort, DiffServ, and
+IntServ behaviour without touching any other code.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.sim.kernel import Kernel
+from repro.oskernel.host import Host
+from repro.net.link import Interface, Link
+from repro.net.nic import Nic
+from repro.net.queues import QueueDiscipline
+from repro.net.router import Router
+
+#: Anything that terminates a link.
+Device = Union[Nic, Router]
+#: What callers may pass to identify a link endpoint.
+Endpoint = Union[Host, Nic, Router, str]
+
+
+class Network:
+    """Builder and registry for one simulated network.
+
+    Example
+    -------
+    >>> from repro.sim import Kernel
+    >>> from repro.oskernel import Host
+    >>> kernel = Kernel()
+    >>> net = Network(kernel)
+    >>> a = Host(kernel, "a"); b = Host(kernel, "b")
+    >>> net.attach_host(a); net.attach_host(b)  # doctest: +ELLIPSIS
+    <Nic a.eth0>
+    <Nic b.eth0>
+    >>> r = net.add_router("r1")
+    >>> _ = net.link(a, r); _ = net.link(r, b)
+    >>> net.compute_routes()
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        default_bandwidth_bps: float = 10e6,
+        default_delay: float = 50e-6,
+    ) -> None:
+        self.kernel = kernel
+        self.default_bandwidth_bps = float(default_bandwidth_bps)
+        self.default_delay = float(default_delay)
+        self._devices: Dict[str, Device] = {}
+        self._hosts: Dict[str, Host] = {}
+        self._links: List[Link] = []
+        # adjacency: device name -> [(neighbor name, local interface)]
+        self._adjacency: Dict[str, List[Tuple[str, Interface]]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def attach_host(self, host: Host) -> Nic:
+        """Register ``host`` and give it a NIC."""
+        if host.name in self._devices:
+            raise ValueError(f"duplicate device name {host.name!r}")
+        nic = Nic(self.kernel, host)
+        self._devices[host.name] = nic
+        self._hosts[host.name] = host
+        self._adjacency[host.name] = []
+        return nic
+
+    def add_router(self, name: str) -> Router:
+        if name in self._devices:
+            raise ValueError(f"duplicate device name {name!r}")
+        router = Router(self.kernel, name)
+        self._devices[name] = router
+        self._adjacency[name] = []
+        return router
+
+    def link(
+        self,
+        a: Endpoint,
+        b: Endpoint,
+        bandwidth_bps: Optional[float] = None,
+        delay: Optional[float] = None,
+        qdisc_a: Optional[QueueDiscipline] = None,
+        qdisc_b: Optional[QueueDiscipline] = None,
+    ) -> Link:
+        """Wire a full-duplex link between two registered endpoints.
+
+        ``qdisc_a`` shapes traffic *from a toward b*; ``qdisc_b`` the
+        reverse direction.
+        """
+        dev_a = self._resolve(a)
+        dev_b = self._resolve(b)
+        iface_a = Interface(
+            self.kernel, dev_a, f"{dev_a.name}->{dev_b.name}", qdisc=qdisc_a
+        )
+        iface_b = Interface(
+            self.kernel, dev_b, f"{dev_b.name}->{dev_a.name}", qdisc=qdisc_b
+        )
+        dev_a.add_interface(iface_a)
+        dev_b.add_interface(iface_b)
+        link = Link(
+            self.kernel,
+            iface_a,
+            iface_b,
+            bandwidth_bps=bandwidth_bps or self.default_bandwidth_bps,
+            delay=self.default_delay if delay is None else delay,
+        )
+        self._links.append(link)
+        self._adjacency[dev_a.name].append((dev_b.name, iface_a))
+        self._adjacency[dev_b.name].append((dev_a.name, iface_b))
+        return link
+
+    def compute_routes(self) -> None:
+        """(Re)build every router's routing table by hop-count BFS."""
+        for host_name in self._hosts:
+            self._route_toward(host_name)
+
+    def _route_toward(self, destination: str) -> None:
+        visited = {destination}
+        frontier = deque([destination])
+        while frontier:
+            current = frontier.popleft()
+            for neighbor, _ in self._adjacency[current]:
+                if neighbor in visited:
+                    continue
+                visited.add(neighbor)
+                device = self._devices[neighbor]
+                egress = self._interface_toward(neighbor, current)
+                device.set_route(destination, egress)
+                # Hosts never forward transit traffic, so the search
+                # may not continue *through* a NIC — only routers (and
+                # the destination itself) extend the frontier.
+                if isinstance(device, Router):
+                    frontier.append(neighbor)
+
+    def _interface_toward(self, device_name: str, neighbor: str) -> Interface:
+        for name, interface in self._adjacency[device_name]:
+            if name == neighbor:
+                return interface
+        raise KeyError(f"no link {device_name} -> {neighbor}")
+
+    def enable_intserv(self, utilization_bound: float = 0.9) -> None:
+        """Attach RSVP agents to every router and host NIC.
+
+        Reservations only actually take hold on interfaces whose qdisc
+        is a :class:`~repro.net.queues.GuaranteedRateQueue`; signaling
+        still traverses everything else.
+        """
+        from repro.net.intserv import RsvpAgent  # local import: cycle
+
+        for device in self._devices.values():
+            if getattr(device, "rsvp_agent", None) is None:
+                RsvpAgent(self.kernel, device,
+                          utilization_bound=utilization_bound)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def _resolve(self, endpoint: Endpoint) -> Device:
+        if isinstance(endpoint, Host):
+            return self._devices[endpoint.name]
+        if isinstance(endpoint, (Nic, Router)):
+            return endpoint
+        return self._devices[endpoint]
+
+    def device(self, name: str) -> Device:
+        return self._devices[name]
+
+    def host(self, name: str) -> Host:
+        return self._hosts[name]
+
+    def nic_of(self, host: Union[Host, str]) -> Nic:
+        name = host.name if isinstance(host, Host) else host
+        device = self._devices[name]
+        if not isinstance(device, Nic):
+            raise KeyError(f"{name!r} is not a host")
+        return device
+
+    @property
+    def routers(self) -> List[Router]:
+        return [d for d in self._devices.values() if isinstance(d, Router)]
+
+    @property
+    def links(self) -> List[Link]:
+        return list(self._links)
+
+    def path(self, src: str, dst: str) -> List[str]:
+        """Device names along the shortest path src -> dst (inclusive).
+
+        Hosts are endpoints, never transit nodes, mirroring the
+        forwarding behaviour of :meth:`repro.net.nic.Nic.receive`.
+        """
+        parents: Dict[str, str] = {}
+        visited = {src}
+        frontier = deque([src])
+        while frontier:
+            current = frontier.popleft()
+            if current == dst:
+                break
+            if current != src and not isinstance(
+                self._devices[current], Router
+            ):
+                continue  # no transit through hosts
+            for neighbor, _ in self._adjacency[current]:
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    parents[neighbor] = current
+                    frontier.append(neighbor)
+        if dst not in visited:
+            raise KeyError(f"no path {src} -> {dst}")
+        result = [dst]
+        while result[-1] != src:
+            result.append(parents[result[-1]])
+        return list(reversed(result))

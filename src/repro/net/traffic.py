@@ -1,0 +1,107 @@
+"""Competing network traffic generators.
+
+The paper's experiments congest the network with constant-rate cross
+traffic (16 Mbps in Figs 4-6; a 43.8 Mbps burst in Fig 7/Table 1).
+:class:`CbrTrafficSource` reproduces that; :class:`PoissonTrafficSource`
+adds a burstier alternative used by tests and ablations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.sim.kernel import Kernel, ScheduledEvent
+from repro.net.diffserv import Dscp
+from repro.net.nic import Nic
+from repro.net.packet import MTU_BYTES, Packet, Protocol
+
+
+class _TrafficSource:
+    """Shared machinery: schedule packet emissions until stopped."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        nic: Nic,
+        dst: str,
+        rate_bps: float,
+        packet_bytes: int = MTU_BYTES,
+        dscp: Dscp = Dscp.BE,
+        dst_port: int = 9,  # the traditional discard port
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        if packet_bytes <= 0:
+            raise ValueError(f"packet size must be positive, got {packet_bytes}")
+        self.kernel = kernel
+        self.nic = nic
+        self.dst = dst
+        self.rate_bps = float(rate_bps)
+        self.packet_bytes = int(packet_bytes)
+        self.dscp = dscp
+        self.dst_port = dst_port
+        self.src_port = nic.allocate_port()
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self._running = False
+        self._next_emit: Optional[ScheduledEvent] = None
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._next_emit = self.kernel.schedule(self._gap(), self._emit)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._next_emit is not None:
+            self._next_emit.cancel()
+            self._next_emit = None
+
+    def run_for(self, duration: float) -> None:
+        """Start now and stop automatically after ``duration`` seconds."""
+        self.start()
+        self.kernel.schedule(duration, self.stop)
+
+    def _emit(self) -> None:
+        if not self._running:
+            return
+        packet = Packet(
+            src=self.nic.host.name,
+            dst=self.dst,
+            src_port=self.src_port,
+            dst_port=self.dst_port,
+            protocol=Protocol.UDP,
+            payload=None,
+            payload_bytes=self.packet_bytes,
+            dscp=self.dscp,
+            flow_id=f"crosstraffic:{self.nic.host.name}:{self.src_port}",
+            created_at=self.kernel.now,
+        )
+        self.packets_sent += 1
+        self.bytes_sent += packet.size_bytes
+        self.nic.send(packet)
+        self._next_emit = self.kernel.schedule(self._gap(), self._emit)
+
+    def _gap(self) -> float:
+        raise NotImplementedError
+
+
+class CbrTrafficSource(_TrafficSource):
+    """Constant-bit-rate traffic: evenly spaced fixed-size packets."""
+
+    def _gap(self) -> float:
+        return ((self.packet_bytes + 40) * 8) / self.rate_bps
+
+
+class PoissonTrafficSource(_TrafficSource):
+    """Poisson packet arrivals at the requested average rate."""
+
+    def __init__(self, *args, rng: Optional[random.Random] = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.rng = rng or random.Random(0)
+
+    def _gap(self) -> float:
+        mean = ((self.packet_bytes + 40) * 8) / self.rate_bps
+        return self.rng.expovariate(1.0 / mean)

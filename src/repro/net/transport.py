@@ -1,0 +1,548 @@
+"""Transport endpoints: datagram sockets and reliable streams.
+
+``DatagramSocket``
+    UDP-like: unreliable, unordered, message-per-packet.  The A/V
+    Streaming Service sends media frames over these, so congestion loss
+    turns directly into lost frames (the Fig 7 phenomenon).
+
+``StreamConnection`` / ``StreamListener``
+    TCP-like: reliable, in-order message delivery with fragmentation to
+    MTU, cumulative ACKs, go-back-N retransmission with exponential
+    backoff, and fast retransmit on triple duplicate ACKs.  GIOP
+    connections ride on these, so congestion loss turns into latency
+    spikes (the Fig 4b phenomenon: "latency fluctuates widely between a
+    few milliseconds to over a second").
+
+Both carry a configurable DSCP — the hook TAO's extended protocol
+properties use to mark traffic (paper section 3.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.sim.kernel import Kernel, ScheduledEvent
+from repro.net.diffserv import Dscp
+from repro.net.nic import Nic
+from repro.net.packet import MTU_BYTES, Packet, Protocol
+
+_message_ids = itertools.count(1)
+
+#: Receive callback for datagram sockets: (payload, packet) -> None.
+DatagramReceiver = Callable[[Any, Packet], None]
+#: Receive callback for streams: (payload, message_meta) -> None.
+MessageReceiver = Callable[[Any, "MessageMeta"], None]
+
+
+class DatagramSocket:
+    """An unreliable, unordered message endpoint (UDP-like)."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        nic: Nic,
+        port: Optional[int] = None,
+        on_receive: Optional[DatagramReceiver] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.nic = nic
+        self.port = port if port is not None else nic.allocate_port()
+        self.on_receive = on_receive
+        self.sent = 0
+        self.received = 0
+        self._closed = False
+        nic.bind(Protocol.UDP, self.port, self._deliver)
+
+    def send_to(
+        self,
+        dst: str,
+        dst_port: int,
+        payload: Any = None,
+        payload_bytes: int = 0,
+        dscp: Dscp = Dscp.BE,
+        flow_id: Optional[str] = None,
+    ) -> bool:
+        """Fire-and-forget one datagram; False if dropped at first hop."""
+        if self._closed:
+            raise RuntimeError("socket is closed")
+        packet = Packet(
+            src=self.nic.host.name,
+            dst=dst,
+            src_port=self.port,
+            dst_port=dst_port,
+            protocol=Protocol.UDP,
+            payload=payload,
+            payload_bytes=payload_bytes,
+            dscp=dscp,
+            flow_id=flow_id,
+            created_at=self.kernel.now,
+        )
+        self.sent += 1
+        return self.nic.send(packet)
+
+    def _deliver(self, packet: Packet) -> None:
+        self.received += 1
+        if self.on_receive is not None:
+            self.on_receive(packet.payload, packet)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self.nic.unbind(Protocol.UDP, self.port)
+
+
+class MessageMeta:
+    """Delivery metadata handed to stream message receivers."""
+
+    __slots__ = ("message_id", "sent_at", "delivered_at", "size_bytes")
+
+    def __init__(
+        self, message_id: int, sent_at: float, delivered_at: float, size_bytes: int
+    ) -> None:
+        self.message_id = message_id
+        self.sent_at = sent_at
+        self.delivered_at = delivered_at
+        self.size_bytes = size_bytes
+
+    @property
+    def latency(self) -> float:
+        return self.delivered_at - self.sent_at
+
+
+class _Segment:
+    """One stream fragment in flight."""
+
+    __slots__ = (
+        "seq", "kind", "message_id", "chunk_index", "chunk_count",
+        "data", "nbytes", "sent_at", "last_tx", "retransmitted",
+        "ecn_echo",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        kind: str,
+        message_id: int = 0,
+        chunk_index: int = 0,
+        chunk_count: int = 0,
+        data: Any = None,
+        nbytes: int = 0,
+        sent_at: float = 0.0,
+    ) -> None:
+        self.seq = seq
+        self.kind = kind  # "data" | "ack"
+        self.message_id = message_id
+        self.chunk_index = chunk_index
+        self.chunk_count = chunk_count
+        self.data = data
+        self.nbytes = nbytes
+        self.sent_at = sent_at
+        self.last_tx = sent_at
+        self.retransmitted = False
+        #: On ACK segments: the receiver saw an ECN congestion mark.
+        self.ecn_echo = False
+
+
+class StreamConnection:
+    """A reliable, ordered, message-oriented connection (TCP-like).
+
+    Create the client side with :meth:`connect`; server sides are
+    created by :class:`StreamListener`.  Messages larger than the MTU
+    are fragmented; delivery is exactly-once and in order.
+    """
+
+    INITIAL_RTO = 0.2
+    MIN_RTO = 0.05
+    MAX_RTO = 4.0
+    #: Hard cap on the congestion window (segments).
+    WINDOW = 128
+    #: Initial congestion window / post-RTO restart window.
+    INITIAL_CWND = 4
+    DUP_ACK_THRESHOLD = 3
+    #: Consecutive unanswered RTOs before the connection gives up
+    #: (mirrors TCP's R2 threshold); prevents a dead peer from keeping
+    #: retransmission timers alive forever.
+    MAX_CONSECUTIVE_RTOS = 12
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        nic: Nic,
+        local_port: int,
+        remote_host: str,
+        remote_port: int,
+        dscp: Dscp = Dscp.BE,
+        on_message: Optional[MessageReceiver] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.nic = nic
+        self.local_port = local_port
+        self.remote_host = remote_host
+        self.remote_port = remote_port
+        self.dscp = dscp
+        self.on_message = on_message
+        # --- sender state ---
+        self._next_seq = 0
+        self._base = 0  # oldest unacked seq
+        self._in_flight: Dict[int, _Segment] = {}
+        self._backlog: List[_Segment] = []
+        self._rto = self.INITIAL_RTO
+        self._rto_event: Optional[ScheduledEvent] = None
+        self._dup_acks = 0
+        self._consecutive_rtos = 0
+        # RFC 6298 estimator state (None until the first sample).
+        self._srtt: Optional[float] = None
+        self._rttvar = 0.0
+        # Slow start / AIMD congestion control (segment units).
+        self._cwnd = float(self.INITIAL_CWND)
+        self._ssthresh = float(self.WINDOW)
+        self._last_ecn_reaction = float("-inf")
+        #: Congestion-window reductions triggered by ECN echoes.
+        self.ecn_responses = 0
+        # --- receiver state ---
+        self._expected_seq = 0
+        self._out_of_order: Dict[int, _Segment] = {}
+        self._partial: Dict[int, List[Any]] = {}
+        self._partial_bytes: Dict[int, int] = {}
+        self._partial_t0: Dict[int, float] = {}
+        # --- stats ---
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.segments_sent = 0
+        self.retransmissions = 0
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    # Establishment
+    # ------------------------------------------------------------------
+    @classmethod
+    def connect(
+        cls,
+        kernel: Kernel,
+        nic: Nic,
+        remote_host: str,
+        remote_port: int,
+        dscp: Dscp = Dscp.BE,
+        on_message: Optional[MessageReceiver] = None,
+    ) -> "StreamConnection":
+        """Open a client connection from an ephemeral local port."""
+        local_port = nic.allocate_port()
+        conn = cls(
+            kernel, nic, local_port, remote_host, remote_port,
+            dscp=dscp, on_message=on_message,
+        )
+        nic.bind(Protocol.TCP, local_port, conn._deliver)
+        return conn
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send_message(self, payload: Any, payload_bytes: int) -> int:
+        """Queue one application message; returns its message id."""
+        if self.closed:
+            raise RuntimeError("connection is closed")
+        message_id = next(_message_ids)
+        now = self.kernel.now
+        chunk_count = max(1, -(-payload_bytes // MTU_BYTES))  # ceil div
+        remaining = payload_bytes
+        for index in range(chunk_count):
+            nbytes = min(MTU_BYTES, remaining) if payload_bytes else 0
+            remaining -= nbytes
+            segment = _Segment(
+                seq=self._next_seq,
+                kind="data",
+                message_id=message_id,
+                chunk_index=index,
+                chunk_count=chunk_count,
+                # Only the last chunk carries the payload object; the
+                # rest carry placeholder weight.
+                data=payload if index == chunk_count - 1 else None,
+                nbytes=nbytes,
+                sent_at=now,
+            )
+            self._next_seq += 1
+            self._backlog.append(segment)
+        self.messages_sent += 1
+        self._pump()
+        return message_id
+
+    @property
+    def _window(self) -> int:
+        return min(self.WINDOW, max(self.INITIAL_CWND, int(self._cwnd)))
+
+    def _pump(self) -> None:
+        while self._backlog and len(self._in_flight) < self._window:
+            segment = self._backlog.pop(0)
+            self._in_flight[segment.seq] = segment
+            self._transmit(segment)
+        if self._in_flight and self._rto_event is None:
+            self._arm_rto()
+
+    def _transmit(self, segment: _Segment) -> None:
+        self.segments_sent += 1
+        segment.last_tx = self.kernel.now
+        packet = Packet(
+            src=self.nic.host.name,
+            dst=self.remote_host,
+            src_port=self.local_port,
+            dst_port=self.remote_port,
+            protocol=Protocol.TCP,
+            payload=segment,
+            payload_bytes=segment.nbytes,
+            dscp=self.dscp,
+            created_at=self.kernel.now,
+        )
+        self.nic.send(packet)
+
+    # ------------------------------------------------------------------
+    # Retransmission
+    # ------------------------------------------------------------------
+    def _arm_rto(self) -> None:
+        self._rto_event = self.kernel.schedule(self._rto, self._on_rto)
+
+    def _cancel_rto(self) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+
+    def _on_rto(self) -> None:
+        self._rto_event = None
+        if not self._in_flight or self.closed:
+            return
+        self._consecutive_rtos += 1
+        if self._consecutive_rtos > self.MAX_CONSECUTIVE_RTOS:
+            # Peer looks dead: give up rather than retransmit forever.
+            self.close()
+            return
+        self._ssthresh = max(2.0, self._cwnd / 2)
+        self._cwnd = float(self.INITIAL_CWND)
+        base_segment = self._in_flight.get(self._base)
+        if base_segment is not None:
+            self.retransmissions += 1
+            base_segment.retransmitted = True
+            self._transmit(base_segment)
+        self._rto = min(self.MAX_RTO, self._rto * 2)
+        self._arm_rto()
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def _deliver(self, packet: Packet) -> None:
+        segment: _Segment = packet.payload
+        if segment.kind == "ack":
+            if segment.ecn_echo:
+                self._on_ecn_echo()
+            self._handle_ack(segment.seq)
+        else:
+            self._handle_data(segment, congestion_marked=packet.ecn)
+
+    def _update_rtt(self, sample: float) -> None:
+        """RFC 6298 smoothed RTT / variance update."""
+        if self._srtt is None:
+            self._srtt = sample
+            self._rttvar = sample / 2
+        else:
+            self._rttvar = 0.75 * self._rttvar + 0.25 * abs(self._srtt - sample)
+            self._srtt = 0.875 * self._srtt + 0.125 * sample
+        self._rto = min(
+            self.MAX_RTO, max(self.MIN_RTO, self._srtt + 4 * self._rttvar)
+        )
+
+    def _handle_ack(self, ack_seq: int) -> None:
+        if ack_seq > self._base:
+            acked = ack_seq - self._base
+            popped = [
+                self._in_flight.pop(seq, None)
+                for seq in range(self._base, ack_seq)
+            ]
+            live = [segment for segment in popped if segment is not None]
+            if live and all(not s.retransmitted for s in live):
+                # Karn's algorithm, range form: a cumulative ack whose
+                # span includes any retransmission is ambiguous — and
+                # so is one that releases segments merely *buffered*
+                # behind a retransmitted hole.  Only a clean advance
+                # gives a sample, measured on its newest segment.
+                self._update_rtt(self.kernel.now - live[-1].last_tx)
+            elif self._srtt is not None:
+                # Recovery made progress: shed any RTO backoff.
+                self._rto = min(
+                    self.MAX_RTO,
+                    max(self.MIN_RTO, self._srtt + 4 * self._rttvar),
+                )
+            self._base = ack_seq
+            self._dup_acks = 0
+            self._consecutive_rtos = 0
+            # Congestion window growth: slow start below ssthresh,
+            # linear (AIMD) above it.
+            for _ in range(acked):
+                if self._cwnd < self._ssthresh:
+                    self._cwnd += 1.0
+                else:
+                    self._cwnd += 1.0 / self._cwnd
+            self._cancel_rto()
+            self._pump()
+            # NewReno-style recovery: a partial ack exposing a stale
+            # hole means that hole was lost too — retransmit it now
+            # rather than after another full RTO.
+            hole = self._in_flight.get(self._base)
+            if (
+                hole is not None
+                and self._srtt is not None
+                and self.kernel.now - hole.last_tx
+                    > self._srtt + 2 * self._rttvar
+            ):
+                self.retransmissions += 1
+                hole.retransmitted = True
+                self._transmit(hole)
+        elif ack_seq == self._base and self._in_flight:
+            self._dup_acks += 1
+            if self._dup_acks >= self.DUP_ACK_THRESHOLD:
+                self._dup_acks = 0
+                self._ssthresh = max(2.0, self._cwnd / 2)
+                self._cwnd = self._ssthresh
+                base_segment = self._in_flight.get(self._base)
+                if base_segment is not None:
+                    self.retransmissions += 1
+                    base_segment.retransmitted = True
+                    self._transmit(base_segment)
+
+    def _handle_data(
+        self, segment: _Segment, congestion_marked: bool = False
+    ) -> None:
+        if segment.seq >= self._expected_seq:
+            self._out_of_order.setdefault(segment.seq, segment)
+            while self._expected_seq in self._out_of_order:
+                ready = self._out_of_order.pop(self._expected_seq)
+                self._expected_seq += 1
+                self._assemble(ready)
+        self._send_ack(self._expected_seq, ecn_echo=congestion_marked)
+
+    def _assemble(self, segment: _Segment) -> None:
+        mid = segment.message_id
+        chunks = self._partial.setdefault(mid, [])
+        self._partial_bytes[mid] = self._partial_bytes.get(mid, 0) + segment.nbytes
+        self._partial_t0.setdefault(mid, segment.sent_at)
+        chunks.append(segment)
+        if len(chunks) == segment.chunk_count:
+            payload = chunks[-1].data
+            meta = MessageMeta(
+                message_id=mid,
+                sent_at=self._partial_t0.pop(mid),
+                delivered_at=self.kernel.now,
+                size_bytes=self._partial_bytes.pop(mid),
+            )
+            del self._partial[mid]
+            self.messages_delivered += 1
+            if self.on_message is not None:
+                self.on_message(payload, meta)
+
+    def _send_ack(self, ack_seq: int, ecn_echo: bool = False) -> None:
+        ack = _Segment(seq=ack_seq, kind="ack")
+        ack.ecn_echo = ecn_echo
+        packet = Packet(
+            src=self.nic.host.name,
+            dst=self.remote_host,
+            src_port=self.local_port,
+            dst_port=self.remote_port,
+            protocol=Protocol.TCP,
+            payload=ack,
+            payload_bytes=0,
+            dscp=self.dscp,
+            created_at=self.kernel.now,
+        )
+        self.nic.send(packet)
+
+    def _on_ecn_echo(self) -> None:
+        """React to explicit congestion: halve the window, at most once
+        per round-trip (RFC 3168 discipline)."""
+        now = self.kernel.now
+        rtt = self._srtt if self._srtt is not None else self.INITIAL_RTO
+        if now - self._last_ecn_reaction <= rtt:
+            return
+        self._last_ecn_reaction = now
+        self._ssthresh = max(2.0, self._cwnd / 2)
+        self._cwnd = self._ssthresh
+        self.ecn_responses += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        """Segments sent but not yet acknowledged."""
+        return len(self._in_flight)
+
+    @property
+    def send_depth(self) -> int:
+        """Unacknowledged plus not-yet-transmitted segments.
+
+        Senders that prefer skipping to queueing (video) watch this to
+        decide whether the connection is keeping up.
+        """
+        return len(self._in_flight) + len(self._backlog)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self._cancel_rto()
+        self.nic.unbind(Protocol.TCP, self.local_port)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<StreamConnection {self.nic.host.name}:{self.local_port}->"
+            f"{self.remote_host}:{self.remote_port} dscp={self.dscp.name}>"
+        )
+
+
+class StreamListener:
+    """Accepts stream connections on a well-known port.
+
+    Per-peer server-side connections are created lazily on the first
+    segment from a new (host, port) pair — a simplification of the SYN
+    handshake that preserves what the experiments measure.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        nic: Nic,
+        port: int,
+        on_connection: Optional[Callable[[StreamConnection], None]] = None,
+        on_message: Optional[MessageReceiver] = None,
+        dscp: Dscp = Dscp.BE,
+    ) -> None:
+        self.kernel = kernel
+        self.nic = nic
+        self.port = int(port)
+        self.on_connection = on_connection
+        self.on_message = on_message
+        self.dscp = dscp
+        self.connections: Dict[Tuple[str, int], StreamConnection] = {}
+        nic.bind(Protocol.TCP, self.port, self._deliver)
+
+    def _deliver(self, packet: Packet) -> None:
+        key = (packet.src, packet.src_port)
+        conn = self.connections.get(key)
+        if conn is None:
+            conn = StreamConnection(
+                self.kernel,
+                self.nic,
+                local_port=self.port,
+                remote_host=packet.src,
+                remote_port=packet.src_port,
+                # Mirror the peer's marking: both directions of one
+                # connection carry the same DSCP, as on a real socket
+                # with a per-connection TOS.
+                dscp=packet.dscp,
+                on_message=self.on_message,
+            )
+            self.connections[key] = conn
+            if self.on_connection is not None:
+                self.on_connection(conn)
+        conn._deliver(packet)
+
+    def close(self) -> None:
+        self.nic.unbind(Protocol.TCP, self.port)
+        for conn in self.connections.values():
+            conn.closed = True
+            conn._cancel_rto()

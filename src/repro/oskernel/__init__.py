@@ -1,0 +1,41 @@
+"""Simulated operating-system substrate.
+
+Models the endsystem half of the paper's testbed: per-host CPUs with
+preemptive fixed-priority scheduling (the behaviour the RT-CORBA
+priority mappings target on Linux/QNX/LynxOS/Solaris) and TimeSys-style
+resource-kernel **CPU reserves** — an admitted (compute-time C,
+period T) reserve is guaranteed C seconds of CPU every T seconds
+regardless of competing load (paper section 3.3).
+
+The scheduler is exact, not statistical: work requests are charged for
+precisely the simulated time they held the CPU, preemption happens at
+the instant a higher-priority thread becomes runnable, and reserve
+budgets replenish on period boundaries.
+"""
+
+from repro.oskernel.cpu import CPU, WorkRequest
+from repro.oskernel.host import Host
+from repro.oskernel.loadgen import CpuLoadGenerator
+from repro.oskernel.priorities import OsType, native_priority_range
+from repro.oskernel.reserve import (
+    AdmissionError,
+    EnforcementPolicy,
+    Reserve,
+    ReserveManager,
+)
+from repro.oskernel.thread import SimThread, ThreadState
+
+__all__ = [
+    "AdmissionError",
+    "CPU",
+    "CpuLoadGenerator",
+    "EnforcementPolicy",
+    "Host",
+    "OsType",
+    "Reserve",
+    "ReserveManager",
+    "SimThread",
+    "ThreadState",
+    "WorkRequest",
+    "native_priority_range",
+]

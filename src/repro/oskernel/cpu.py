@@ -1,0 +1,260 @@
+"""Preemptive fixed-priority CPU scheduling.
+
+The CPU model is exact: at every scheduling point (work submission,
+completion, priority change, reserve depletion or replenishment) the
+running thread is charged for precisely the simulated time it held the
+CPU, and the highest effective-priority runnable thread is (re)selected.
+Preemption is therefore instantaneous, like an ideal RTOS with zero
+context-switch cost — configurable context-switch overhead can be added
+via ``switch_cost``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from repro.sim.kernel import Kernel, ScheduledEvent
+from repro.sim.process import Signal
+from repro.oskernel.thread import SimThread, ThreadState
+
+# Work below one simulated nanosecond is considered complete.  The
+# epsilon must be coarse enough that ``now + slice`` is always a
+# representable later float, or zero-length slices would loop forever at
+# one timestamp (classic DES pathology).
+_EPSILON = 1e-9
+_request_ids = itertools.count(1)
+
+
+class WorkRequest:
+    """A quantum of CPU demand charged to one thread.
+
+    Completion is announced through :attr:`done`, a
+    :class:`~repro.sim.process.Signal` that fires with the request
+    itself as payload.
+    """
+
+    __slots__ = (
+        "rid",
+        "thread",
+        "amount",
+        "remaining",
+        "done",
+        "submitted_at",
+        "completed_at",
+    )
+
+    def __init__(self, kernel: Kernel, thread: SimThread, amount: float) -> None:
+        self.rid = next(_request_ids)
+        self.thread = thread
+        self.amount = float(amount)
+        self.remaining = float(amount)
+        self.done = Signal(kernel, name=f"work-{self.rid}.done")
+        self.submitted_at = kernel.now
+        self.completed_at: Optional[float] = None
+
+    @property
+    def response_time(self) -> Optional[float]:
+        """Submission-to-completion time, or ``None`` if still pending."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<WorkRequest {self.rid} thread={self.thread.name!r} "
+            f"remaining={self.remaining:.6f}>"
+        )
+
+
+class CPU:
+    """A uniprocessor with preemptive fixed-priority scheduling.
+
+    Parameters
+    ----------
+    kernel:
+        Simulation kernel.
+    name:
+        Diagnostic label.
+    speed:
+        Relative speed factor; a request for ``w`` seconds of work takes
+        ``w / speed`` seconds of simulated time when running alone.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        name: str = "cpu",
+        speed: float = 1.0,
+    ) -> None:
+        if speed <= 0:
+            raise ValueError(f"speed must be positive, got {speed}")
+        self.kernel = kernel
+        self.name = name
+        self.speed = float(speed)
+        self._threads: List[SimThread] = []
+        self._queues: Dict[int, List[WorkRequest]] = {}
+        self._current: Optional[SimThread] = None
+        self._run_start = 0.0
+        self._completion_event: Optional[ScheduledEvent] = None
+        self._ready_seq = itertools.count(1)
+        self._ready_order: Dict[int, int] = {}
+        #: Total busy CPU seconds (observability).
+        self.busy_time = 0.0
+        #: Number of context switches performed.
+        self.context_switches = 0
+        self._last_dispatched = -1
+
+    # ------------------------------------------------------------------
+    # Registration and submission
+    # ------------------------------------------------------------------
+    def register(self, thread: SimThread) -> None:
+        self._threads.append(thread)
+        self._queues[thread.tid] = []
+
+    def submit(self, thread: SimThread, work_seconds: float) -> WorkRequest:
+        """Queue ``work_seconds`` of CPU demand for ``thread``.
+
+        Requests from the same thread execute in FIFO order.  Returns
+        the request; wait on ``request.done`` for completion.
+        """
+        if work_seconds < 0:
+            raise ValueError(f"negative work: {work_seconds}")
+        request = WorkRequest(self.kernel, thread, work_seconds)
+        queue = self._queues[thread.tid]
+        queue.append(request)
+        if thread.state == ThreadState.IDLE:
+            self._make_ready(thread)
+        self.reschedule()
+        return request
+
+    def _make_ready(self, thread: SimThread) -> None:
+        thread.state = ThreadState.READY
+        self._ready_order[thread.tid] = next(self._ready_seq)
+
+    # ------------------------------------------------------------------
+    # Scheduling core
+    # ------------------------------------------------------------------
+    def reschedule(self) -> None:
+        """Charge the running thread and re-select the highest-priority one.
+
+        Safe to call at any time; this is the single entry point used by
+        submissions, priority changes, and reserve events.
+        """
+        self._charge_current()
+        self._dispatch()
+
+    def _charge_current(self) -> None:
+        thread = self._current
+        if thread is None:
+            return
+        now = self.kernel.now
+        elapsed = max(0.0, now - self._run_start)
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        self._current = None
+        queue = self._queues[thread.tid]
+        request = queue[0] if queue else None
+        consumed = elapsed * self.speed
+        thread.cpu_time += consumed
+        self.busy_time += elapsed
+        if request is not None:
+            request.remaining -= consumed
+        reserve = thread.reserve
+        depleted = False
+        if reserve is not None and consumed > 0:
+            depleted = reserve.consume(consumed)
+        if request is not None and request.remaining <= _EPSILON:
+            self._complete(thread, request)
+        elif depleted and reserve is not None and reserve.is_hard:
+            thread.state = ThreadState.SUSPENDED
+        else:
+            thread.state = ThreadState.READY
+        if (
+            depleted
+            and reserve is not None
+            and self._queues[thread.tid]
+        ):
+            # Work is still pending: make sure the scheduler is kicked
+            # when the budget returns at the next period boundary.
+            reserve.arm_wakeup()
+
+    def _complete(self, thread: SimThread, request: WorkRequest) -> None:
+        queue = self._queues[thread.tid]
+        queue.pop(0)
+        request.remaining = 0.0
+        request.completed_at = self.kernel.now
+        request.done.fire(request)
+        if queue:
+            thread.state = ThreadState.READY
+        else:
+            thread.state = ThreadState.IDLE
+            self._ready_order.pop(thread.tid, None)
+
+    def _dispatch(self) -> None:
+        now = self.kernel.now
+        candidate: Optional[SimThread] = None
+        best_key = None
+        for thread in self._threads:
+            if thread.state not in (ThreadState.READY, ThreadState.RUNNING):
+                continue
+            if not self._queues[thread.tid]:
+                continue
+            key = (
+                thread.effective_priority(now),
+                -self._ready_order.get(thread.tid, 0),
+            )
+            if best_key is None or key > best_key:
+                best_key = key
+                candidate = thread
+        if candidate is None:
+            return
+        request = self._queues[candidate.tid][0]
+        candidate.state = ThreadState.RUNNING
+        self._current = candidate
+        self._run_start = now
+        if candidate.tid != self._last_dispatched:
+            self.context_switches += 1
+            self._last_dispatched = candidate.tid
+        slice_work = request.remaining
+        reserve = candidate.reserve
+        if reserve is not None and reserve.has_budget:
+            # Run at most until the budget is exhausted or the period
+            # boundary replenishes it, then re-evaluate — a slice must
+            # never straddle a boundary, or the charge would deplete a
+            # budget that was refilled mid-slice.
+            to_boundary = (
+                reserve.next_boundary_time() - now
+            ) * self.speed
+            slice_work = min(
+                slice_work,
+                reserve.budget_remaining,
+                max(_EPSILON, to_boundary),
+            )
+        duration = slice_work / self.speed
+        self._completion_event = self.kernel.schedule(duration, self.reschedule)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> Optional[SimThread]:
+        return self._current
+
+    def queue_depth(self, thread: SimThread) -> int:
+        return len(self._queues[thread.tid])
+
+    def utilization(self) -> float:
+        """Fraction of simulated time the CPU has been busy so far."""
+        if self.kernel.now <= 0:
+            return 0.0
+        # Include the in-flight slice so the figure is current.
+        in_flight = 0.0
+        if self._current is not None:
+            in_flight = self.kernel.now - self._run_start
+        return (self.busy_time + in_flight) / self.kernel.now
+
+    def __repr__(self) -> str:  # pragma: no cover
+        running = self._current.name if self._current else None
+        return f"<CPU {self.name!r} running={running!r}>"

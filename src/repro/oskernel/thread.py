@@ -1,0 +1,93 @@
+"""Schedulable threads.
+
+A :class:`SimThread` is the unit the CPU scheduler reasons about.  It
+does not itself contain code: simulation processes *submit work* on
+behalf of a thread via :meth:`repro.oskernel.cpu.CPU.submit` and wait
+for the completion signal.  This mirrors how the middleware charges its
+processing (marshaling, dispatch, image processing) to specific OS
+threads with specific priorities.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.oskernel.cpu import CPU
+    from repro.oskernel.reserve import Reserve
+
+_thread_ids = itertools.count(1)
+
+
+class ThreadState(enum.Enum):
+    IDLE = "idle"  # no pending work
+    READY = "ready"  # runnable, not on the CPU
+    RUNNING = "running"
+    SUSPENDED = "suspended"  # hard reserve depleted; waiting replenishment
+
+
+class SimThread:
+    """A simulated OS thread.
+
+    Parameters
+    ----------
+    cpu:
+        The CPU this thread is bound to (no migration; the paper's
+        testbed machines are uniprocessors).
+    priority:
+        Native priority; higher runs first.
+    name:
+        Diagnostic label.
+    """
+
+    def __init__(self, cpu: "CPU", priority: int, name: str = "") -> None:
+        self.tid = next(_thread_ids)
+        self.cpu = cpu
+        self.name = name or f"thread-{self.tid}"
+        self._priority = int(priority)
+        self.state = ThreadState.IDLE
+        #: Attached CPU reserve, if any (see repro.oskernel.reserve).
+        self.reserve: Optional["Reserve"] = None
+        #: Total CPU seconds consumed (observability).
+        self.cpu_time = 0.0
+        cpu.register(self)
+
+    # ------------------------------------------------------------------
+    @property
+    def priority(self) -> int:
+        return self._priority
+
+    def set_priority(self, priority: int) -> None:
+        """Change the native priority; takes effect immediately.
+
+        This is the hook RT-CORBA uses when a request carrying a
+        propagated priority arrives (CLIENT_PROPAGATED model).
+        """
+        priority = int(priority)
+        if priority == self._priority:
+            return
+        self._priority = priority
+        self.cpu.reschedule()
+
+    def effective_priority(self, now: float) -> float:
+        """Priority used by the scheduler at simulated time ``now``.
+
+        Threads running on an active reserve with remaining budget are
+        boosted above every normal thread (the resource kernel schedules
+        reserved capacity ahead of ordinary timesharing/RT activity),
+        and rank earliest-deadline-first among themselves.  A depleted
+        *soft* reserve falls back to the native priority; a depleted
+        *hard* reserve makes the thread ineligible (handled in the CPU
+        via :class:`ThreadState.SUSPENDED`).
+        """
+        if self.reserve is not None and self.reserve.has_budget:
+            return self.reserve.boost_priority()
+        return float(self._priority)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<SimThread {self.name!r} prio={self._priority} "
+            f"state={self.state.value}>"
+        )

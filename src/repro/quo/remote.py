@@ -1,0 +1,142 @@
+"""Distributed system conditions.
+
+QuO contracts often watch conditions measured on *other* hosts (the
+receiver observes losses; the sender's contract adapts).  This module
+carries those observations over the ORB:
+
+* a :class:`SyscondMirrorServant` runs beside the contract and exposes
+  ``update(name, value)``; each named condition appears locally as an
+  ordinary :class:`~repro.quo.syscond.ValueSC` that contracts attach
+  to;
+* a :class:`SyscondPublisher` runs beside the measurement and pushes
+  observations as **oneway** CORBA requests — monitoring must never
+  block on the monitored path — with optional rate limiting so a
+  high-frequency probe does not flood the control plane.
+
+The control traffic is real: it is marshaled, queued, and subject to
+the same network QoS as everything else (publishers may therefore
+want a DSCP of their own).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.sim.kernel import Kernel
+from repro.net.diffserv import Dscp
+from repro.orb.cdr import CdrOutputStream, OpaquePayload
+from repro.orb.core import Orb
+from repro.orb.ior import ObjectReference
+from repro.orb.poa import Servant
+from repro.quo.syscond import ValueSC
+
+
+class SyscondMirrorServant(Servant):
+    """Receives remote observations and reflects them into local
+    system-condition objects."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self._conditions: Dict[str, ValueSC] = {}
+        self.updates_received = 0
+
+    def condition(self, name: str, initial: Any = None) -> ValueSC:
+        """The local ValueSC mirroring remote condition ``name``
+        (created on first use)."""
+        existing = self._conditions.get(name)
+        if existing is None:
+            existing = ValueSC(self.kernel, name, initial=initial)
+            self._conditions[name] = existing
+        return existing
+
+    # -- remote operation ---------------------------------------------------
+    def update(self, name: str, value: Any) -> None:
+        self.updates_received += 1
+        self.condition(name).set(value)
+
+
+class SyscondPublisher:
+    """Pushes local observations to a remote mirror.
+
+    Parameters
+    ----------
+    orb:
+        The ORB on the measuring host.
+    mirror_ref:
+        Reference to the remote :class:`SyscondMirrorServant`.
+    min_interval:
+        Minimum seconds between pushes *per condition name*; more
+        frequent observations are coalesced (latest value wins when
+        the interval reopens).
+    dscp:
+        Marking for the control traffic (default CS2, a modest
+        elevation so monitoring is not the first casualty of the
+        congestion it is reporting).
+    """
+
+    def __init__(
+        self,
+        orb: Orb,
+        mirror_ref: ObjectReference,
+        min_interval: float = 0.0,
+        dscp: Dscp = Dscp.CS2,
+        thread=None,
+    ) -> None:
+        self.orb = orb
+        self.mirror_ref = mirror_ref
+        self.min_interval = float(min_interval)
+        self.dscp = dscp
+        self.thread = thread
+        self._last_push: Dict[str, float] = {}
+        self._pending: Dict[str, Any] = {}
+        self.updates_sent = 0
+        self.updates_coalesced = 0
+
+    def publish(self, name: str, value: Any) -> None:
+        """Push (or coalesce) one observation."""
+        now = self.orb.kernel.now
+        last = self._last_push.get(name)
+        if (
+            self.min_interval > 0
+            and last is not None
+            and now - last < self.min_interval
+        ):
+            # Too soon: remember the newest value and arm a flush at
+            # the end of the interval (only once per window).
+            first_in_window = name not in self._pending
+            self._pending[name] = value
+            self.updates_coalesced += 1
+            if first_in_window:
+                delay = last + self.min_interval - now
+                self.orb.kernel.schedule(delay, self._flush, name)
+            return
+        self._send(name, value)
+
+    def _flush(self, name: str) -> None:
+        value = self._pending.pop(name, None)
+        if value is not None:
+            self._send(name, value)
+
+    def _send(self, name: str, value: Any) -> None:
+        self._last_push[name] = self.orb.kernel.now
+        out = CdrOutputStream()
+        out.write_opaque(OpaquePayload(((name, value), {}), nbytes=96))
+        self.orb.invoke(
+            self.mirror_ref,
+            "update",
+            out.getvalue(),
+            opaques=out.opaques,
+            thread=self.thread,
+            dscp=self.dscp,
+            response_expected=False,  # oneway: never block the probe
+        )
+        self.updates_sent += 1
+
+
+def start_mirror(
+    orb: Orb, poa_name: str = "sysconds"
+) -> tuple:
+    """Activate a mirror on ``orb``; returns (servant, reference)."""
+    servant = SyscondMirrorServant(orb.kernel)
+    poa = orb.create_poa(poa_name)
+    return servant, poa.activate_object(servant, oid="mirror")

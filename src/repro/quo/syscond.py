@@ -1,0 +1,200 @@
+"""System condition objects.
+
+A :class:`SystemCondition` exposes one observable (or controllable)
+aspect of the system behind a uniform interface: ``value`` reads the
+current state, ``changed`` is a signal fired when it moves, and
+``observers`` (typically contracts) are re-evaluated on change.
+
+The concrete conditions below cover what the paper's application
+contracts watch: delivered frame rate, loss rate, CPU utilization, and
+reservation state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, List, Optional
+
+from repro.sim.kernel import Kernel, ScheduledEvent
+from repro.sim.process import Signal
+
+
+class SystemCondition:
+    """Base: an observable named value."""
+
+    def __init__(self, kernel: Kernel, name: str, initial: Any = None) -> None:
+        self.kernel = kernel
+        self.name = name
+        self._value = initial
+        self.changed = Signal(kernel, name=f"syscond.{name}")
+        self._observers: List[Callable[["SystemCondition"], None]] = []
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def observe(self, callback: Callable[["SystemCondition"], None]) -> None:
+        """Register for updates; called as ``callback(syscond)``."""
+        self._observers.append(callback)
+
+    def _update(self, value: Any) -> None:
+        if value == self._value:
+            return
+        self._value = value
+        self.changed.fire(value)
+        for observer in list(self._observers):
+            observer(self)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} {self.name!r}={self._value!r}>"
+
+
+class ValueSC(SystemCondition):
+    """A directly settable condition (application- or manager-fed)."""
+
+    def set(self, value: Any) -> None:
+        self._update(value)
+
+
+class DeliveredRateSC(SystemCondition):
+    """Observed event rate (e.g. frames/second) over a sliding window.
+
+    Call :meth:`record` on each delivery; the condition periodically
+    recomputes the rate so that silence (total loss) also shows up.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        name: str,
+        window: float = 1.0,
+        update_interval: float = 0.5,
+    ) -> None:
+        super().__init__(kernel, name, initial=0.0)
+        self.window = float(window)
+        self.update_interval = float(update_interval)
+        self._arrivals: deque = deque()
+        self._timer: Optional[ScheduledEvent] = None
+
+    def start(self) -> None:
+        """Begin periodic recomputation (idempotent)."""
+        if self._timer is None:
+            self._timer = self.kernel.schedule(self.update_interval, self._tick)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def record(self) -> None:
+        self._arrivals.append(self.kernel.now)
+
+    def _tick(self) -> None:
+        self._timer = self.kernel.schedule(self.update_interval, self._tick)
+        cutoff = self.kernel.now - self.window
+        while self._arrivals and self._arrivals[0] < cutoff:
+            self._arrivals.popleft()
+        self._update(len(self._arrivals) / self.window)
+
+
+class LossRateSC(SystemCondition):
+    """Loss fraction over a sliding window of send/receive events.
+
+    The producer side calls :meth:`record_sent`; the consumer side (or
+    a feedback channel) calls :meth:`record_received`.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        name: str,
+        window: float = 2.0,
+        update_interval: float = 0.5,
+    ) -> None:
+        super().__init__(kernel, name, initial=0.0)
+        self.window = float(window)
+        self.update_interval = float(update_interval)
+        self._sent: deque = deque()
+        self._received: deque = deque()
+        self._timer: Optional[ScheduledEvent] = None
+
+    def start(self) -> None:
+        if self._timer is None:
+            self._timer = self.kernel.schedule(self.update_interval, self._tick)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def record_sent(self) -> None:
+        self._sent.append(self.kernel.now)
+
+    def record_received(self) -> None:
+        self._received.append(self.kernel.now)
+
+    def _tick(self) -> None:
+        self._timer = self.kernel.schedule(self.update_interval, self._tick)
+        cutoff = self.kernel.now - self.window
+        for series in (self._sent, self._received):
+            while series and series[0] < cutoff:
+                series.popleft()
+        sent = len(self._sent)
+        if sent == 0:
+            self._update(0.0)
+            return
+        lost = max(0, sent - len(self._received))
+        self._update(lost / sent)
+
+
+class CpuUtilizationSC(SystemCondition):
+    """Windowed CPU utilization of one host."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        name: str,
+        host,
+        update_interval: float = 0.5,
+    ) -> None:
+        super().__init__(kernel, name, initial=0.0)
+        self.host = host
+        self.update_interval = float(update_interval)
+        self._last_busy = 0.0
+        self._last_time = kernel.now
+        self._timer: Optional[ScheduledEvent] = None
+
+    def start(self) -> None:
+        if self._timer is None:
+            self._timer = self.kernel.schedule(self.update_interval, self._tick)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _tick(self) -> None:
+        self._timer = self.kernel.schedule(self.update_interval, self._tick)
+        # Charge the in-flight slice so the reading is current.
+        self.host.cpu.reschedule()
+        busy = self.host.cpu.busy_time
+        now = self.kernel.now
+        elapsed = now - self._last_time
+        if elapsed > 0:
+            self._update(min(1.0, (busy - self._last_busy) / elapsed))
+        self._last_busy = busy
+        self._last_time = now
+
+
+class ReservationStatusSC(SystemCondition):
+    """Tracks an RSVP reservation's state string."""
+
+    def __init__(self, kernel: Kernel, name: str, reservation) -> None:
+        super().__init__(kernel, name, initial=reservation.state)
+        self.reservation = reservation
+        reservation.established.wait(
+            lambda _ok: self._update(reservation.state)
+        )
+
+    def refresh(self) -> None:
+        self._update(self.reservation.state)

@@ -1,0 +1,53 @@
+"""Common object services (the Figure 1 "Common Services" layer).
+
+The paper's middleware diagram places standard CORBA services — "Name
+Services ... Event Services" — between the ORB and the QoS-adaptive
+layer.  This package provides the ones a DRE application built on this
+stack needs:
+
+``naming``
+    A CORBA Naming Service: hierarchical string names bound to object
+    references, with a typed client helper.
+
+``events``
+    A real-time event channel in the spirit of TAO's RT Event Service:
+    decoupled suppliers and consumers, per-consumer type filtering,
+    and priority-aware dispatch through the channel host's RT thread
+    pools.
+
+``scheduling``
+    TAO's static scheduling service: rate-monotonic priority
+    assignment with Liu-Layland and exact response-time admission
+    tests, producing the CORBA priorities the rest of the stack
+    propagates.
+"""
+
+from repro.services.events import (
+    Event,
+    EventChannelServant,
+    EventConsumerServant,
+    EventProxy,
+)
+from repro.services.naming import (
+    NameNotFound,
+    NamingClient,
+    NamingServiceServant,
+)
+from repro.services.scheduling import (
+    RmsScheduler,
+    SchedulingError,
+    TaskDescriptor,
+)
+
+__all__ = [
+    "Event",
+    "EventChannelServant",
+    "EventConsumerServant",
+    "EventProxy",
+    "NameNotFound",
+    "NamingClient",
+    "NamingServiceServant",
+    "RmsScheduler",
+    "SchedulingError",
+    "TaskDescriptor",
+]

@@ -1,0 +1,128 @@
+"""CORBA Naming Service.
+
+Object references in this system are location-transparent values, so a
+naming service is an ordinary servant holding a map from hierarchical
+string names (``"sensors/uav1/video"``) to references.  Naming
+*contexts* are flattened into path strings — the simplification loses
+none of the behaviour the applications here rely on (bind, rebind,
+resolve, unbind, list).
+
+Use :func:`NamingClient` from application coroutines::
+
+    naming = NamingClient(orb, naming_ref)
+    yield from naming.bind("sensors/uav1", objref)
+    ref = yield from naming.resolve("sensors/uav1")
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Tuple
+
+from repro.orb.cdr import CdrInputStream, CdrOutputStream, OpaquePayload
+from repro.orb.core import Orb, raise_if_error
+from repro.orb.ior import ObjectReference
+from repro.orb.poa import Servant
+
+
+class NameNotFound(KeyError):
+    """Raised (and marshaled back) when a name has no binding."""
+
+
+def _validate_name(name: str) -> str:
+    if not name or name.startswith("/") or name.endswith("/"):
+        raise ValueError(f"invalid name {name!r}")
+    if any(not part for part in name.split("/")):
+        raise ValueError(f"empty component in name {name!r}")
+    return name
+
+
+class NamingServiceServant(Servant):
+    """The service side: a raw-dispatch servant holding the bindings."""
+
+    def __init__(self) -> None:
+        self._bindings: Dict[str, ObjectReference] = {}
+
+    # -- remote operations --------------------------------------------------
+    def bind(self, name: str, objref: ObjectReference) -> bool:
+        name = _validate_name(name)
+        if name in self._bindings:
+            raise ValueError(f"name {name!r} is already bound")
+        self._bindings[name] = objref
+        return True
+
+    def rebind(self, name: str, objref: ObjectReference) -> bool:
+        self._bindings[_validate_name(name)] = objref
+        return True
+
+    def resolve(self, name: str) -> ObjectReference:
+        try:
+            return self._bindings[name]
+        except KeyError:
+            raise NameNotFound(name) from None
+
+    def unbind(self, name: str) -> bool:
+        if self._bindings.pop(name, None) is None:
+            raise NameNotFound(name)
+        return True
+
+    def list(self, prefix: str = "") -> List[Tuple[str, str]]:
+        """(name, type_id) pairs under ``prefix``."""
+        return sorted(
+            (name, ref.type_id)
+            for name, ref in self._bindings.items()
+            if name.startswith(prefix)
+        )
+
+    # -- local observability --------------------------------------------------
+    @property
+    def binding_count(self) -> int:
+        return len(self._bindings)
+
+
+class NamingClient:
+    """Typed client helper over the raw naming servant.
+
+    All methods are generators; drive them with ``yield from`` inside a
+    simulation process.
+    """
+
+    def __init__(self, orb: Orb, naming_ref: ObjectReference,
+                 thread=None) -> None:
+        self.orb = orb
+        self.naming_ref = naming_ref
+        self.thread = thread
+
+    def bind(self, name: str, objref: ObjectReference) -> Generator:
+        return self._call("bind", name, objref)
+
+    def rebind(self, name: str, objref: ObjectReference) -> Generator:
+        return self._call("rebind", name, objref)
+
+    def resolve(self, name: str) -> Generator:
+        return self._call("resolve", name)
+
+    def unbind(self, name: str) -> Generator:
+        return self._call("unbind", name)
+
+    def list(self, prefix: str = "") -> Generator:
+        return self._call("list", prefix)
+
+    def _call(self, operation: str, *args) -> Generator:
+        out = CdrOutputStream()
+        out.write_opaque(OpaquePayload((args, {}), nbytes=128))
+        reply = yield self.orb.invoke(
+            self.naming_ref, operation, out.getvalue(),
+            opaques=out.opaques, thread=self.thread,
+        )
+        raise_if_error(reply)
+        inp = CdrInputStream(reply.body, reply.opaques)
+        return inp.read_opaque().value
+
+
+def start_naming_service(
+    orb: Orb, poa_name: str = "naming"
+) -> Tuple[NamingServiceServant, ObjectReference]:
+    """Activate a naming service on ``orb``; returns (servant, ref)."""
+    servant = NamingServiceServant()
+    poa = orb.create_poa(poa_name)
+    return servant, poa.activate_object(servant, oid="root")

@@ -1,0 +1,50 @@
+"""Discrete-event simulation kernel.
+
+This package is the foundation of the reproduction: every host CPU,
+network link, router queue, and middleware actor in :mod:`repro` runs on
+the simulated clock provided here rather than on wall-clock time.  That
+substitution is what makes a Python reproduction of a real-time systems
+paper deterministic and laptop-scale (see DESIGN.md, section 2).
+
+Public surface
+--------------
+
+``Kernel``
+    The event loop: a time-ordered heap of scheduled callbacks plus a
+    simulated clock.
+
+``Process``
+    A generator-based coroutine executing on a kernel.  Processes yield
+    :class:`Timeout`, :class:`Signal`, or other processes to suspend.
+
+``Signal``
+    A broadcast wake-up primitive with optional payload.
+
+``RngRegistry``
+    Named, independently seeded random streams so that adding a new
+    stochastic component never perturbs existing ones.
+"""
+
+from repro.sim.kernel import Kernel, ScheduledEvent, SimulationError
+from repro.sim.process import (
+    AnyOf,
+    Interrupt,
+    Process,
+    ProcessError,
+    Signal,
+    Timeout,
+)
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "AnyOf",
+    "Interrupt",
+    "Kernel",
+    "Process",
+    "ProcessError",
+    "RngRegistry",
+    "ScheduledEvent",
+    "Signal",
+    "SimulationError",
+    "Timeout",
+]

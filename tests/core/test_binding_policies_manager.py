@@ -1,0 +1,227 @@
+"""Tests for priority bindings, policies, and the QoS manager."""
+
+import pytest
+
+from repro.sim import Kernel, Process
+from repro.oskernel import EnforcementPolicy, Host, OsType
+from repro.net import Dscp, GuaranteedRateQueue, Network
+from repro.orb import Orb, compile_idl
+from repro.orb.rt import TablePriorityMapping
+from repro.core import (
+    CombinedPolicy,
+    EndToEndPriorityBinding,
+    EndToEndQoSManager,
+    PriorityPolicy,
+    QosPolicyError,
+    ReservationPolicy,
+)
+
+IDL = "interface Pingable { void ping(); };"
+PINGABLE = compile_idl(IDL)["Pingable"]
+
+
+def rig(kernel, intserv=False):
+    net = Network(kernel, default_bandwidth_bps=10e6)
+    hosts = {}
+    for name, os_type in (
+        ("client", OsType.QNX),
+        ("middle", OsType.LYNXOS),
+        ("server", OsType.SOLARIS),
+    ):
+        hosts[name] = Host(kernel, name, os_type=os_type)
+        net.attach_host(hosts[name])
+    router = net.add_router("router")
+
+    def q():
+        return GuaranteedRateQueue(kernel) if intserv else None
+
+    for name in hosts:
+        net.link(name, router, qdisc_a=q(), qdisc_b=q())
+    net.compute_routes()
+    if intserv:
+        net.enable_intserv()
+    orb = Orb(kernel, hosts["client"], net)
+    return net, hosts, orb
+
+
+def test_binding_reproduces_figure2_chain():
+    """CORBA priority 100 with custom mappings: QNX 16, LynxOS 128,
+    Solaris 136, DSCP EF on the wire (the paper's Figure 2)."""
+    kernel = Kernel()
+    net, hosts, orb = rig(kernel)
+
+    class Figure2Mapping:
+        tables = {
+            OsType.QNX: TablePriorityMapping([(0, 0), (100, 16)]),
+            OsType.LYNXOS: TablePriorityMapping([(0, 0), (100, 128)]),
+            OsType.SOLARIS: TablePriorityMapping([(0, 100), (100, 136)]),
+        }
+
+        def to_native(self, corba_priority, os_type):
+            return self.tables[os_type].to_native(corba_priority, os_type)
+
+        def to_corba(self, native_priority, os_type):
+            return self.tables[os_type].to_corba(native_priority, os_type)
+
+    orb.mapping_manager.install_native_mapping(Figure2Mapping())
+    from repro.orb.rt import DscpMapping, PriorityBand
+    orb.mapping_manager.install_dscp_mapping(
+        DscpMapping([PriorityBand(0, Dscp.BE), PriorityBand(100, Dscp.EF)])
+    )
+    binding = EndToEndPriorityBinding(orb, 100, use_dscp=True)
+    hops = binding.describe([hosts["middle"], hosts["server"]])
+    assert [h.native_priority for h in hops] == [16, 128, 136]
+    assert all(h.dscp == Dscp.EF for h in hops)
+    assert all(h.corba_priority == 100 for h in hops)
+
+
+def test_binding_without_dscp():
+    kernel = Kernel()
+    _, hosts, orb = rig(kernel)
+    binding = EndToEndPriorityBinding(orb, 100, use_dscp=False)
+    assert binding.dscp is None
+
+
+def test_binding_applies_thread_priority():
+    kernel = Kernel()
+    _, hosts, orb = rig(kernel)
+    thread = hosts["client"].spawn_thread("app")
+    binding = EndToEndPriorityBinding(orb, 32767)
+    native = binding.apply_to_thread(thread)
+    assert thread.priority == native == 31  # top of QNX range
+
+
+# ----------------------------------------------------------------------
+# Policies
+# ----------------------------------------------------------------------
+def test_priority_policy_validation():
+    with pytest.raises(QosPolicyError):
+        PriorityPolicy(-1)
+    with pytest.raises(QosPolicyError):
+        PriorityPolicy(40000)
+
+
+def test_reservation_policy_validation():
+    with pytest.raises(QosPolicyError):
+        ReservationPolicy(cpu_compute=0.1)  # period missing
+    with pytest.raises(QosPolicyError):
+        ReservationPolicy(cpu_compute=-1, cpu_period=1)
+    with pytest.raises(QosPolicyError):
+        ReservationPolicy(network_rate_bps=0)
+    policy = ReservationPolicy(cpu_compute=0.1, cpu_period=1.0,
+                               network_rate_bps=1e6)
+    assert policy.wants_cpu and policy.wants_network
+
+
+# ----------------------------------------------------------------------
+# Manager
+# ----------------------------------------------------------------------
+def test_manager_applies_priority_to_stub_and_thread():
+    kernel = Kernel()
+    net, hosts, orb = rig(kernel)
+    manager = EndToEndQoSManager(kernel, net)
+    thread = hosts["client"].spawn_thread("app")
+
+    class FakeStub:
+        priority = None
+        dscp = None
+
+    stub = FakeStub()
+    policy = PriorityPolicy(32767, use_thread_priority=True, use_dscp=True)
+    binding = manager.apply_priority(orb, policy, stub=stub, thread=thread)
+    assert stub.priority == 32767
+    assert stub.dscp == Dscp.EF
+    assert thread.priority == 31
+    assert binding.dscp == Dscp.EF
+
+
+def test_manager_priority_without_thread_management():
+    kernel = Kernel()
+    net, hosts, orb = rig(kernel)
+    manager = EndToEndQoSManager(kernel, net)
+    thread = hosts["client"].spawn_thread("app", priority=3)
+    policy = PriorityPolicy(32767, use_thread_priority=False)
+    manager.apply_priority(orb, policy, thread=thread)
+    assert thread.priority == 3  # untouched
+
+
+def test_manager_cpu_reserve():
+    kernel = Kernel()
+    net, hosts, _ = rig(kernel)
+    manager = EndToEndQoSManager(kernel, net)
+    thread = hosts["server"].spawn_thread("atr")
+    policy = ReservationPolicy(cpu_compute=0.2, cpu_period=1.0,
+                               cpu_enforcement=EnforcementPolicy.HARD)
+    reserve = manager.reserve_cpu(hosts["server"], thread, policy)
+    assert reserve is not None
+    assert reserve.is_hard
+    assert hosts["server"].reserve_manager.total_utilization == pytest.approx(0.2)
+
+
+def test_manager_cpu_reserve_optional_failure_returns_none():
+    kernel = Kernel()
+    net, hosts, _ = rig(kernel)
+    manager = EndToEndQoSManager(kernel, net)
+    hog = hosts["server"].spawn_thread("hog")
+    hosts["server"].reserve_manager.request(hog, compute=0.89, period=1.0)
+    thread = hosts["server"].spawn_thread("atr")
+    optional = ReservationPolicy(cpu_compute=0.5, cpu_period=1.0,
+                                 mandatory=False)
+    assert manager.reserve_cpu(hosts["server"], thread, optional) is None
+    mandatory = ReservationPolicy(cpu_compute=0.5, cpu_period=1.0)
+    with pytest.raises(Exception):
+        manager.reserve_cpu(hosts["server"], thread, mandatory)
+
+
+def test_manager_network_reservation():
+    kernel = Kernel()
+    net, hosts, orb = rig(kernel, intserv=True)
+    manager = EndToEndQoSManager(kernel, net)
+    policy = ReservationPolicy(network_rate_bps=1.2e6)
+    outcomes = []
+
+    def body():
+        reservation = yield from manager.reserve_network(
+            "flow-x", "client", "server", policy)
+        outcomes.append(reservation)
+
+    Process(kernel, body(), name="driver")
+    kernel.run(until=10.0)
+    assert outcomes and outcomes[0].is_established
+    assert "flow-x" in manager.flows
+
+
+def test_manager_combined_policy():
+    kernel = Kernel()
+    net, hosts, orb = rig(kernel)
+    manager = EndToEndQoSManager(kernel, net)
+    thread = hosts["client"].spawn_thread("sender")
+    policy = CombinedPolicy(
+        PriorityPolicy(30000, use_dscp=True),
+        ReservationPolicy(cpu_compute=0.1, cpu_period=0.5),
+    )
+    binding, reserve = manager.apply_combined(orb, policy, thread=thread)
+    assert binding.dscp == Dscp.EF
+    assert reserve is not None
+    assert thread.reserve is reserve
+
+
+def test_priority_driven_reservation_allocation():
+    """Section 6: priorities decide who gets reserves when capacity is
+    insufficient for everyone."""
+    kernel = Kernel()
+    net, hosts, _ = rig(kernel)
+    manager = EndToEndQoSManager(kernel, net)
+    host = hosts["server"]
+    threads = [host.spawn_thread(f"task{i}") for i in range(3)]
+    policy = ReservationPolicy(cpu_compute=0.4, cpu_period=1.0)
+    requests = [
+        (threads[0], 10000, policy),  # medium priority
+        (threads[1], 30000, policy),  # high priority
+        (threads[2], 100, policy),    # low priority
+    ]
+    results = manager.allocate_reservations(host, requests)
+    # Capacity 0.9 fits two 0.4 reserves; the low-priority one loses.
+    assert results[threads[1].name] is not None
+    assert results[threads[0].name] is not None
+    assert results[threads[2].name] is None

@@ -1,0 +1,105 @@
+"""Tests for the CLI runner and ASCII chart rendering."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.charts import ascii_cumulative, ascii_timeseries
+
+
+# ----------------------------------------------------------------------
+# Charts
+# ----------------------------------------------------------------------
+def test_timeseries_chart_basic():
+    series = [(float(i), 0.001 * (i + 1)) for i in range(20)]
+    text = ascii_timeseries("demo", series, width=40, height=8)
+    lines = text.splitlines()
+    assert "demo" in lines[0]
+    assert any("*" in line for line in lines)
+    assert "time (s)" in lines[-1]
+
+
+def test_timeseries_chart_empty():
+    assert "(no data)" in ascii_timeseries("demo", [])
+
+
+def test_timeseries_log_scale_separates_decades():
+    # Two clusters: ~1 ms and ~1 s; log scale must not squash the low one.
+    series = [(float(i), 0.001) for i in range(10)]
+    series += [(float(i + 10), 1.0) for i in range(10)]
+    text = ascii_timeseries("demo", series, width=40, height=10)
+    rows_with_stars = [
+        index for index, line in enumerate(text.splitlines())
+        if "*" in line
+    ]
+    assert max(rows_with_stars) - min(rows_with_stars) >= 8
+
+
+def test_timeseries_linear_scale():
+    series = [(0.0, 0.0), (1.0, 0.010)]
+    text = ascii_timeseries("demo", series, log_y=False)
+    assert "linear" in text
+
+
+def test_cumulative_chart():
+    rows = [(float(t), t * 10, t * 8) for t in range(11)]
+    text = ascii_cumulative("fig7", rows, width=40, height=8)
+    assert "." in text and "#" in text
+    assert "100" in text  # peak label
+
+
+def test_cumulative_chart_empty():
+    assert "(no data)" in ascii_cumulative("fig7", [])
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_parser_knows_all_commands():
+    parser = build_parser()
+    for command in ("fig4", "fig5", "fig6", "priority-all",
+                    "table1", "fig7", "table2"):
+        args = parser.parse_args([command])
+        assert callable(args.func)
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig99"])
+
+
+def test_cli_fig4_runs_end_to_end(capsys):
+    assert main(["fig4", "--duration", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "fig4a-control-idle" in out
+    assert "sender1" in out
+
+
+def test_cli_table2_runs_end_to_end(capsys):
+    assert main(["table2", "--duration", "10"]) == 0
+    out = capsys.readouterr().out
+    for algorithm in ("Kirsch", "Prewitt", "Sobel"):
+        assert algorithm in out
+
+
+def test_cli_table1_single_arm(capsys):
+    assert main([
+        "table1", "--duration", "20", "--load-start", "5",
+        "--load-end", "15", "--arm", "3-full",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "3-full" in out
+    assert "1-none" not in out
+
+
+def test_cli_unknown_arm_rejected():
+    with pytest.raises(SystemExit, match="unknown arm"):
+        main(["table1", "--duration", "5", "--arm", "nonsense"])
+
+
+def test_cli_fig7_chart_output(capsys):
+    assert main([
+        "fig7", "--duration", "30", "--load-start", "5",
+        "--load-end", "15", "--arm", "3-full",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "sent" in out and "#" in out

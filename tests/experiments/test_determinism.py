@@ -1,0 +1,86 @@
+"""Reproducibility tests: experiments are pure functions of their seed.
+
+A reproduction package whose numbers change with process history is
+not a reproduction.  These tests pin two properties: (1) identical
+seeds give bit-identical results, regardless of how many experiments
+ran before in the same process; (2) different seeds actually change
+the stochastic components.
+
+The history-independence test guards a real regression: experiment
+servants once used auto-numbered object ids, so the GIOP object-key
+byte length — and with it every congested-run timing — depended on how
+many activations had happened earlier in the process.
+"""
+
+import itertools
+
+import pytest
+
+from repro.experiments.priority_exp import (
+    PriorityArm,
+    run_priority_experiment,
+)
+from repro.experiments.reservation_cpu_exp import (
+    CpuArm,
+    run_cpu_reservation_experiment,
+)
+from repro.experiments.reservation_net_exp import (
+    NetworkArm,
+    run_network_reservation_experiment,
+)
+
+
+def priority_fingerprint(result):
+    stats = result.stats("sender1")
+    return (stats.count, stats.mean, stats.std, stats.maximum)
+
+
+def test_priority_experiment_seed_determinism():
+    a = run_priority_experiment(PriorityArm.figure4b(), duration=8.0, seed=3)
+    b = run_priority_experiment(PriorityArm.figure4b(), duration=8.0, seed=3)
+    assert priority_fingerprint(a) == priority_fingerprint(b)
+
+
+def test_priority_experiment_seed_sensitivity():
+    a = run_priority_experiment(PriorityArm.figure4b(), duration=8.0, seed=3)
+    b = run_priority_experiment(PriorityArm.figure4b(), duration=8.0, seed=4)
+    assert priority_fingerprint(a) != priority_fingerprint(b)
+
+
+def test_priority_experiment_independent_of_process_history():
+    """Running other experiments (and burning global id counters) first
+    must not change the numbers."""
+    baseline = priority_fingerprint(
+        run_priority_experiment(PriorityArm.figure5b(), duration=8.0))
+    # Pollute process-global state as a long pytest session would.
+    from repro.orb import poa as poa_module
+    poa_module._oid_counter = itertools.count(10_000)
+    run_priority_experiment(PriorityArm.figure4a(), duration=2.0)
+    run_cpu_reservation_experiment(CpuArm.no_load(), duration=2.0)
+    polluted = priority_fingerprint(
+        run_priority_experiment(PriorityArm.figure5b(), duration=8.0))
+    assert polluted == baseline
+
+
+def test_network_experiment_seed_determinism():
+    kwargs = dict(duration=40.0, load_start=10.0, load_end=30.0, seed=7)
+    arm = NetworkArm("2-partial", "partial", False)
+    a = run_network_reservation_experiment(arm, **kwargs)
+    b = run_network_reservation_experiment(arm, **kwargs)
+    assert (a.delivered_fraction_under_load()
+            == b.delivered_fraction_under_load())
+    assert a.latency_under_load().mean == b.latency_under_load().mean
+
+
+def test_cpu_experiment_seed_determinism():
+    a = run_cpu_reservation_experiment(CpuArm.load(), duration=20.0, seed=5)
+    b = run_cpu_reservation_experiment(CpuArm.load(), duration=20.0, seed=5)
+    for algorithm in ("Kirsch", "Prewitt", "Sobel"):
+        assert a.stats(algorithm).mean == b.stats(algorithm).mean
+        assert a.stats(algorithm).std == b.stats(algorithm).std
+
+
+def test_cpu_experiment_seed_changes_load_pattern():
+    a = run_cpu_reservation_experiment(CpuArm.load(), duration=20.0, seed=5)
+    b = run_cpu_reservation_experiment(CpuArm.load(), duration=20.0, seed=6)
+    assert a.stats("Kirsch").mean != b.stats("Kirsch").mean

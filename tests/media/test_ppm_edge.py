@@ -1,0 +1,119 @@
+"""Tests for the PPM codec and edge detectors."""
+
+import numpy as np
+import pytest
+
+from repro.media import (
+    EDGE_DETECTORS,
+    decode_ppm,
+    encode_ppm,
+    kirsch,
+    prewitt,
+    relative_costs,
+    sobel,
+    synthetic_image,
+)
+from repro.media.ppm import PAPER_IMAGE_SIZE
+
+
+def test_ppm_roundtrip():
+    image = synthetic_image(size=(64, 48), seed=1)
+    assert decode_ppm(encode_ppm(image)).tolist() == image.tolist()
+
+
+def test_paper_image_size_is_close_to_reported():
+    """400x250 RGB PPM: the paper reports 300,060 bytes."""
+    image = synthetic_image(size=PAPER_IMAGE_SIZE, seed=0)
+    encoded = encode_ppm(image)
+    assert image.shape == (250, 400, 3)
+    assert abs(len(encoded) - 300_060) < 100  # header size differences
+
+
+def test_ppm_header_with_comments():
+    image = synthetic_image(size=(8, 8), seed=2)
+    encoded = encode_ppm(image)
+    commented = encoded.replace(b"P6\n", b"P6\n# a comment\n", 1)
+    assert decode_ppm(commented).tolist() == image.tolist()
+
+
+def test_ppm_rejects_bad_magic():
+    with pytest.raises(ValueError):
+        decode_ppm(b"P3\n1 1\n255\n\x00\x00\x00")
+
+
+def test_ppm_rejects_truncated():
+    image = synthetic_image(size=(16, 16), seed=3)
+    encoded = encode_ppm(image)
+    with pytest.raises(ValueError):
+        decode_ppm(encoded[:-10])
+
+
+def test_ppm_encode_validates_shape_and_dtype():
+    with pytest.raises(ValueError):
+        encode_ppm(np.zeros((4, 4), dtype=np.uint8))
+    with pytest.raises(ValueError):
+        encode_ppm(np.zeros((4, 4, 3), dtype=np.float64))
+
+
+def test_synthetic_image_deterministic():
+    a = synthetic_image(size=(32, 32), seed=5)
+    b = synthetic_image(size=(32, 32), seed=5)
+    assert np.array_equal(a, b)
+    c = synthetic_image(size=(32, 32), seed=6)
+    assert not np.array_equal(a, c)
+
+
+# ----------------------------------------------------------------------
+# Edge detectors
+# ----------------------------------------------------------------------
+def vertical_edge_image():
+    """Black left half, white right half: one hard vertical edge."""
+    image = np.zeros((40, 40, 3), dtype=np.uint8)
+    image[:, 20:, :] = 255
+    return image
+
+
+@pytest.mark.parametrize("detector", [kirsch, prewitt, sobel])
+def test_detector_finds_vertical_edge(detector):
+    edges = detector(vertical_edge_image())
+    assert edges.dtype == np.uint8
+    assert edges.shape == (40, 40)
+    edge_column = edges[:, 19:21].mean()
+    flat_region = edges[:, 5:15].mean()
+    assert edge_column > 100
+    assert flat_region < 10
+
+
+@pytest.mark.parametrize("detector", [kirsch, prewitt, sobel])
+def test_detector_flat_image_is_dark(detector):
+    flat = np.full((20, 20, 3), 128, dtype=np.uint8)
+    assert detector(flat).max() == 0
+
+
+@pytest.mark.parametrize("detector", [kirsch, prewitt, sobel])
+def test_detector_accepts_grayscale(detector):
+    gray = vertical_edge_image()[..., 0]
+    edges = detector(gray)
+    assert edges[:, 19:21].mean() > 100
+
+
+def test_kirsch_detects_edges_in_all_directions():
+    """The compass operator must respond to horizontal edges too."""
+    image = np.zeros((40, 40, 3), dtype=np.uint8)
+    image[20:, :, :] = 255
+    edges = kirsch(image)
+    assert edges[19:21, :].mean() > 100
+
+
+def test_registry_contents():
+    assert list(EDGE_DETECTORS) == ["Kirsch", "Prewitt", "Sobel"]
+
+
+def test_relative_costs_kirsch_most_expensive():
+    image = synthetic_image(size=(100, 80), seed=1)
+    costs = relative_costs(image, repeat=2)
+    assert set(costs) == {"Kirsch", "Prewitt", "Sobel"}
+    assert all(v > 0 for v in costs.values())
+    # Kirsch runs 8 convolutions vs 2: it must cost the most.
+    assert costs["Kirsch"] > costs["Prewitt"]
+    assert costs["Kirsch"] > costs["Sobel"]

@@ -1,0 +1,188 @@
+"""Tests for RED/ECN queue management and AF drop precedence."""
+
+import random
+
+import pytest
+
+from repro.sim import Kernel
+from repro.oskernel import Host
+from repro.net import (
+    CbrTrafficSource,
+    DiffServQueue,
+    Dscp,
+    Network,
+    Packet,
+    Protocol,
+    StreamConnection,
+    StreamListener,
+)
+from repro.net.aqm import RedQueue
+
+
+def make_packet(dscp=Dscp.BE, flow_id=None):
+    return Packet(
+        src="a", dst="b", src_port=1, dst_port=2,
+        protocol=Protocol.UDP, payload_bytes=1000,
+        dscp=dscp, flow_id=flow_id,
+    )
+
+
+# ----------------------------------------------------------------------
+# RedQueue
+# ----------------------------------------------------------------------
+def test_red_accepts_below_min_threshold():
+    queue = RedQueue(capacity=100, min_threshold=20, max_threshold=60)
+    for _ in range(10):
+        assert queue.enqueue(make_packet())
+    assert queue.ecn_marked == 0
+    assert queue.dropped == 0
+
+
+def test_red_marks_between_thresholds():
+    queue = RedQueue(capacity=100, min_threshold=5, max_threshold=20,
+                     max_probability=1.0, weight=1.0,
+                     rng=random.Random(1))
+    packets = [make_packet() for _ in range(30)]
+    for packet in packets:
+        queue.enqueue(packet)
+    assert queue.ecn_marked > 0
+    assert queue.dropped == 0  # ECN mode signals without dropping
+    assert any(p.ecn for p in packets)
+
+
+def test_red_without_ecn_drops_early():
+    queue = RedQueue(capacity=100, min_threshold=5, max_threshold=20,
+                     max_probability=1.0, weight=1.0, ecn=False,
+                     rng=random.Random(1))
+    for _ in range(30):
+        queue.enqueue(make_packet())
+    assert queue.dropped > 0
+    assert len(queue) < 30
+
+
+def test_red_hard_capacity_always_drops():
+    queue = RedQueue(capacity=10, min_threshold=2, max_threshold=9,
+                     weight=1.0)
+    outcomes = [queue.enqueue(make_packet()) for _ in range(15)]
+    assert outcomes.count(False) == 5
+
+
+def test_red_average_tracks_queue():
+    queue = RedQueue(capacity=100, min_threshold=20, max_threshold=60,
+                     weight=0.5)
+    for _ in range(10):
+        queue.enqueue(make_packet())
+    assert 0 < queue.average_depth <= 10
+    for _ in range(10):
+        queue.dequeue()
+    queue.enqueue(make_packet())
+    assert queue.average_depth < 10
+
+
+def test_red_fifo_order_preserved():
+    queue = RedQueue(capacity=100)
+    first, second = make_packet(), make_packet()
+    queue.enqueue(first)
+    queue.enqueue(second)
+    assert queue.dequeue() is first
+    assert queue.dequeue() is second
+
+
+def test_red_parameter_validation():
+    with pytest.raises(ValueError):
+        RedQueue(min_threshold=50, max_threshold=20)
+    with pytest.raises(ValueError):
+        RedQueue(capacity=10, min_threshold=5, max_threshold=50)
+    with pytest.raises(ValueError):
+        RedQueue(max_probability=0)
+    with pytest.raises(ValueError):
+        RedQueue(weight=2.0)
+
+
+# ----------------------------------------------------------------------
+# ECN end-to-end: marked packets make the transport back off
+# ----------------------------------------------------------------------
+def test_ecn_echo_halves_congestion_window():
+    kernel = Kernel()
+    net = Network(kernel, default_bandwidth_bps=2e6)
+    for name in ("client", "server"):
+        net.attach_host(Host(kernel, name))
+    router = net.add_router("r")
+    net.link("client", router, bandwidth_bps=100e6)  # fast access leg
+    net.link(router, "server",
+             qdisc_a=RedQueue(capacity=100, min_threshold=4,
+                              max_threshold=12, max_probability=0.5,
+                              weight=0.5, rng=random.Random(2)))
+    net.compute_routes()
+    StreamListener(kernel, net.nic_of("server"), port=2809)
+    conn = StreamConnection.connect(
+        kernel, net.nic_of("client"), "server", 2809)
+    # A bulk transfer big enough to fill the RED queue.
+    conn.send_message("bulk", payload_bytes=400_000)
+    kernel.run(until=10.0)
+    assert conn.ecn_responses > 0
+    assert conn.messages_sent == 1
+
+
+def test_ecn_keeps_queue_short_under_bulk_load():
+    """With ECN+RED the bottleneck queue stays near the thresholds
+    instead of slamming into the hard capacity."""
+    kernel = Kernel()
+    net = Network(kernel, default_bandwidth_bps=2e6)
+    for name in ("client", "server"):
+        net.attach_host(Host(kernel, name))
+    router = net.add_router("r")
+    red = RedQueue(capacity=200, min_threshold=5, max_threshold=15,
+                   max_probability=0.3, weight=0.3, rng=random.Random(3))
+    net.link("client", router, bandwidth_bps=100e6)  # fast access leg
+    net.link(router, "server", qdisc_a=red)
+    net.compute_routes()
+    StreamListener(kernel, net.nic_of("server"), port=2809)
+    conn = StreamConnection.connect(
+        kernel, net.nic_of("client"), "server", 2809)
+    depths = []
+
+    def sample():
+        depths.append(len(red))
+        kernel.schedule(0.05, sample)
+
+    kernel.schedule(0.05, sample)
+    conn.send_message("bulk", payload_bytes=1_000_000)
+    kernel.run(until=8.0)
+    assert max(depths) < 100  # never approaches the 200 hard cap
+    assert red.ecn_marked > 0
+    assert red.dropped == 0
+
+
+# ----------------------------------------------------------------------
+# AF drop precedence
+# ----------------------------------------------------------------------
+def test_af_drop_precedence_sheds_af13_first():
+    queue = DiffServQueue(band_capacity=30)
+    # Fill the AF1x band to just above 1/3 with AF11.
+    for _ in range(11):
+        assert queue.enqueue(make_packet(dscp=Dscp.AF11, flow_id="gold"))
+    # AF13 arrivals now bounce; AF11 still accepted.
+    assert not queue.enqueue(make_packet(dscp=Dscp.AF13, flow_id="bronze"))
+    assert queue.enqueue(make_packet(dscp=Dscp.AF11, flow_id="gold"))
+    assert queue.drops_by_flow == {"bronze": 1}
+
+
+def test_af_drop_precedence_thresholds():
+    queue = DiffServQueue(band_capacity=30)
+    for _ in range(21):  # past 2/3 of 30
+        queue.enqueue(make_packet(dscp=Dscp.AF11))
+    assert not queue.enqueue(make_packet(dscp=Dscp.AF12))
+    assert not queue.enqueue(make_packet(dscp=Dscp.AF13))
+    assert queue.enqueue(make_packet(dscp=Dscp.AF11))
+
+
+def test_af_precedence_does_not_affect_other_bands():
+    queue = DiffServQueue(band_capacity=30)
+    for _ in range(29):
+        queue.enqueue(make_packet(dscp=Dscp.BE))
+    # BE has no precedence shedding below capacity.
+    assert queue.enqueue(make_packet(dscp=Dscp.BE))
+    assert not queue.enqueue(make_packet(dscp=Dscp.BE))  # now full
+    # EF unaffected by the BE band state.
+    assert queue.enqueue(make_packet(dscp=Dscp.EF))

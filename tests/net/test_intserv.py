@@ -1,0 +1,154 @@
+"""Tests for RSVP signaling and IntServ admission/guarantees."""
+
+import pytest
+
+from repro.sim import Kernel
+from repro.oskernel import Host
+from repro.net import (
+    CbrTrafficSource,
+    DatagramSocket,
+    FlowSpec,
+    GuaranteedRateQueue,
+    Network,
+    ReservationError,
+)
+
+
+def intserv_chain(kernel, bandwidth=10e6, bound=0.9):
+    """sender -- r1 -- r2 -- receiver, all egress queues IntServ-capable."""
+    net = Network(kernel, default_bandwidth_bps=bandwidth)
+    for name in ("sender", "receiver", "noise"):
+        net.attach_host(Host(kernel, name))
+    r1, r2 = net.add_router("r1"), net.add_router("r2")
+
+    def q():
+        return GuaranteedRateQueue(kernel, band_capacity=50)
+
+    net.link("sender", r1, qdisc_a=q(), qdisc_b=q())
+    net.link("noise", r1, qdisc_a=q(), qdisc_b=q())
+    net.link(r1, r2, qdisc_a=q(), qdisc_b=q())
+    net.link(r2, "receiver", qdisc_a=q(), qdisc_b=q())
+    net.compute_routes()
+    net.enable_intserv(utilization_bound=bound)
+    return net, r1, r2
+
+
+def establish(kernel, net, flow_id, rate=1.2e6, bucket=20_000):
+    sender_agent = net.nic_of("sender").rsvp_agent
+    receiver_agent = net.nic_of("receiver").rsvp_agent
+    sender_agent.announce_path(flow_id, "receiver")
+    kernel.run(until=kernel.now + 0.1)
+    reservation = receiver_agent.reserve(flow_id, FlowSpec(rate, bucket))
+    kernel.run(until=kernel.now + 0.5)
+    return reservation
+
+
+def test_path_then_resv_establishes():
+    kernel = Kernel()
+    net, r1, r2 = intserv_chain(kernel)
+    reservation = establish(kernel, net, "video")
+    assert reservation.is_established
+    assert reservation.state == "established"
+
+
+def test_resv_without_path_raises():
+    kernel = Kernel()
+    net, _, _ = intserv_chain(kernel)
+    agent = net.nic_of("receiver").rsvp_agent
+    with pytest.raises(ReservationError):
+        agent.reserve("ghost-flow", FlowSpec(1e6, 10_000))
+
+
+def test_reservation_installs_buckets_along_path():
+    kernel = Kernel()
+    net, r1, r2 = intserv_chain(kernel)
+    establish(kernel, net, "video")
+    # Data path sender->receiver: sender.eth, r1->r2, r2->receiver.
+    sender_iface = net.nic_of("sender").interface
+    assert "video" in sender_iface.qdisc.reserved_flows()
+    r1_egress = r1.egress_for("receiver")
+    assert "video" in r1_egress.qdisc.reserved_flows()
+    r2_egress = r2.egress_for("receiver")
+    assert "video" in r2_egress.qdisc.reserved_flows()
+
+
+def test_admission_rejects_oversubscription():
+    kernel = Kernel()
+    net, _, _ = intserv_chain(kernel, bandwidth=10e6, bound=0.5)
+    first = establish(kernel, net, "flow-1", rate=4e6)
+    assert first.is_established
+    second = establish(kernel, net, "flow-2", rate=4e6)  # 8 > 5 Mbps cap
+    assert second.state == "failed"
+    assert "admission failed" in second.failure_reason
+
+
+def test_teardown_removes_buckets():
+    kernel = Kernel()
+    net, r1, _ = intserv_chain(kernel)
+    establish(kernel, net, "video")
+    net.nic_of("receiver").rsvp_agent.teardown("video")
+    kernel.run(until=kernel.now + 0.5)
+    r1_egress = r1.egress_for("receiver")
+    assert "video" not in r1_egress.qdisc.reserved_flows()
+    sender_iface = net.nic_of("sender").interface
+    assert "video" not in sender_iface.qdisc.reserved_flows()
+
+
+def test_teardown_frees_capacity_for_new_reservation():
+    kernel = Kernel()
+    net, _, _ = intserv_chain(kernel, bound=0.5)
+    first = establish(kernel, net, "flow-1", rate=4e6)
+    assert first.is_established
+    net.nic_of("receiver").rsvp_agent.teardown("flow-1")
+    kernel.run(until=kernel.now + 0.5)
+    second = establish(kernel, net, "flow-2", rate=4e6)
+    assert second.is_established
+
+
+def test_reserved_flow_survives_congestion():
+    """The Fig 7 mechanism: a reserved flow keeps its packets under a
+    cross-traffic burst that destroys an unreserved flow."""
+    kernel = Kernel()
+    net, _, _ = intserv_chain(kernel, bandwidth=10e6)
+    establish(kernel, net, "video", rate=1.5e6, bucket=20_000)
+
+    received = {"video": 0, "plain": 0}
+
+    def count(key):
+        return lambda payload, pkt: received.__setitem__(
+            key, received[key] + 1)
+
+    DatagramSocket(kernel, net.nic_of("receiver"), port=8000,
+                   on_receive=count("video"))
+    DatagramSocket(kernel, net.nic_of("receiver"), port=8001,
+                   on_receive=count("plain"))
+
+    video_sock = DatagramSocket(kernel, net.nic_of("sender"))
+    plain_sock = DatagramSocket(kernel, net.nic_of("sender"))
+
+    def send_pair(i):
+        video_sock.send_to("receiver", 8000, i, payload_bytes=1000,
+                           flow_id="video")
+        plain_sock.send_to("receiver", 8001, i, payload_bytes=1000,
+                           flow_id="plain")
+
+    # 1.2 Mbps each: 144 packets/s of 1040 B.  Start after setup.
+    start = kernel.now
+    for i in range(500):
+        kernel.schedule_at(start + i / 144.0, send_pair, i)
+    # 40 Mbps burst from noise host for the middle two seconds.
+    noise = CbrTrafficSource(kernel, net.nic_of("noise"), "receiver",
+                             rate_bps=40e6)
+    kernel.schedule_at(start + 1.0, noise.start)
+    kernel.schedule_at(start + 3.0, noise.stop)
+    kernel.run(until=start + 6.0)
+
+    assert received["video"] >= 495  # essentially lossless
+    assert received["plain"] < 350   # hammered by the burst
+
+
+def test_flowspec_validation():
+    with pytest.raises(ValueError):
+        FlowSpec(0, 100)
+    with pytest.raises(ValueError):
+        FlowSpec(1e6, 0)

@@ -1,0 +1,100 @@
+"""Failure injection: link outages and recovery."""
+
+import pytest
+
+from repro.sim import Kernel
+from repro.oskernel import Host
+from repro.net import DatagramSocket, Network, StreamConnection, StreamListener
+
+
+def rig(kernel):
+    net = Network(kernel, default_bandwidth_bps=10e6)
+    for name in ("a", "b"):
+        net.attach_host(Host(kernel, name))
+    router = net.add_router("r")
+    link_a = net.link("a", router)
+    link_b = net.link(router, "b")
+    net.compute_routes()
+    return net, link_a, link_b
+
+
+def test_datagrams_lost_while_link_down():
+    kernel = Kernel()
+    net, link_a, _ = rig(kernel)
+    got = []
+    DatagramSocket(kernel, net.nic_of("b"), port=7,
+                   on_receive=lambda payload, pkt: got.append(payload))
+    sender = DatagramSocket(kernel, net.nic_of("a"))
+    kernel.schedule(0.0, sender.send_to, "b", 7, "before")
+    kernel.schedule(1.0, link_a.fail)
+    # While the link is down: the transmitter idles, packets queue.
+    kernel.schedule(1.1, sender.send_to, "b", 7, "queued-during-outage")
+    kernel.schedule(2.0, link_a.restore)
+    kernel.schedule(3.0, sender.send_to, "b", 7, "after")
+    kernel.run()
+    # Queued packets survive the outage (they were never on the wire).
+    assert got == ["before", "queued-during-outage", "after"]
+
+
+def test_packet_on_wire_lost_when_link_dies_mid_flight():
+    kernel = Kernel()
+    net = Network(kernel, default_bandwidth_bps=1e5)  # slow: 0.08 s/kB
+    for name in ("a", "b"):
+        net.attach_host(Host(kernel, name))
+    link = net.link("a", "b")
+    net.compute_routes()
+    got = []
+    DatagramSocket(kernel, net.nic_of("b"), port=7,
+                   on_receive=lambda payload, pkt: got.append(payload))
+    sender = DatagramSocket(kernel, net.nic_of("a"))
+    sender.send_to("b", 7, "doomed", payload_bytes=1000)  # ~83 ms on wire
+    kernel.schedule(0.01, link.fail)
+    kernel.schedule(1.0, link.restore)
+    kernel.run()
+    assert got == []
+    assert link.packets_lost == 1
+
+
+def test_stream_survives_brief_outage():
+    """Reliability must bridge a 1-second link failure."""
+    kernel = Kernel()
+    net, link_a, _ = rig(kernel)
+    got = []
+    StreamListener(kernel, net.nic_of("b"), port=2809,
+                   on_message=lambda payload, meta: got.append(payload))
+    conn = StreamConnection.connect(kernel, net.nic_of("a"), "b", 2809)
+    for i in range(10):
+        kernel.schedule(i * 0.2, conn.send_message, i, 2000)
+    kernel.schedule(0.5, link_a.fail)
+    kernel.schedule(1.5, link_a.restore)
+    kernel.run(until=30.0)
+    assert got == list(range(10))
+    assert conn.retransmissions > 0
+    assert not conn.closed
+
+
+def test_stream_gives_up_on_permanent_outage():
+    kernel = Kernel()
+    net, link_a, _ = rig(kernel)
+    StreamListener(kernel, net.nic_of("b"), port=2809)
+    conn = StreamConnection.connect(kernel, net.nic_of("a"), "b", 2809)
+    conn.send_message("never", 2000)
+    kernel.schedule(0.001, link_a.fail)
+    kernel.run(until=120.0)
+    assert conn.closed  # MAX_CONSECUTIVE_RTOS exceeded
+
+
+def test_restore_is_idempotent_and_fail_then_restore_resumes():
+    kernel = Kernel()
+    net, link_a, _ = rig(kernel)
+    link_a.restore()  # up already: no-op
+    link_a.fail()
+    link_a.fail()  # idempotent
+    link_a.restore()
+    link_a.restore()
+    got = []
+    DatagramSocket(kernel, net.nic_of("b"), port=7,
+                   on_receive=lambda payload, pkt: got.append(payload))
+    DatagramSocket(kernel, net.nic_of("a")).send_to("b", 7, "ok")
+    kernel.run()
+    assert got == ["ok"]

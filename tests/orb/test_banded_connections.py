@@ -1,0 +1,118 @@
+"""Tests for the RT-CORBA PriorityBandedConnection policy."""
+
+import pytest
+
+from repro.sim import Kernel, Process
+from repro.oskernel import Host
+from repro.net import Network
+from repro.orb import Orb, OrbError, compile_idl
+from repro.orb.core import raise_if_error
+
+IDL = "interface Svc { long op(in long x); };"
+SVC = compile_idl(IDL)["Svc"]
+
+
+class SvcServant(SVC.skeleton_class):
+    def op(self, x):
+        return x
+
+
+def rig(kernel, bandwidth=100e6):
+    net = Network(kernel, default_bandwidth_bps=bandwidth)
+    for name in ("client", "server"):
+        net.attach_host(Host(kernel, name))
+    net.link("client", "server")
+    net.compute_routes()
+    client_orb = Orb(kernel, net.host("client"), net)
+    server_orb = Orb(kernel, net.host("server"), net)
+    poa = server_orb.create_poa("svc")
+    objref = poa.activate_object(SvcServant())
+    return net, client_orb, server_orb, objref
+
+
+def run_calls(kernel, client_orb, objref, priorities):
+    def body():
+        for priority in priorities:
+            stub = SVC.stub_class(client_orb, objref, priority=priority)
+            result = yield stub.op(priority or 0)
+            raise_if_error(result)
+
+    Process(kernel, body(), name="calls")
+    kernel.run()
+
+
+def test_default_shares_one_connection_across_priorities():
+    kernel = Kernel()
+    _, client_orb, _, objref = rig(kernel)
+    run_calls(kernel, client_orb, objref, [100, 20000, 32000])
+    assert len(client_orb._connections) == 1
+
+
+def test_banding_separates_connections_by_band():
+    kernel = Kernel()
+    _, client_orb, _, objref = rig(kernel)
+    client_orb.enable_priority_banded_connections([0, 10000, 25000])
+    run_calls(kernel, client_orb, objref, [100, 5000, 20000, 32000])
+    # 100 and 5000 share band 0; 20000 in band 10000; 32000 in 25000.
+    assert len(client_orb._connections) == 3
+    bands = sorted(key[3] for key in client_orb._connections)
+    assert bands == [0, 10000, 25000]
+
+
+def test_band_floors_must_start_at_zero():
+    kernel = Kernel()
+    _, client_orb, _, _ = rig(kernel)
+    with pytest.raises(OrbError):
+        client_orb.enable_priority_banded_connections([1000, 20000])
+    with pytest.raises(OrbError):
+        client_orb.enable_priority_banded_connections([])
+
+
+def test_priorityless_requests_use_band_zero():
+    kernel = Kernel()
+    _, client_orb, _, objref = rig(kernel)
+    client_orb.enable_priority_banded_connections([0, 10000])
+    run_calls(kernel, client_orb, objref, [None, 50])
+    assert len(client_orb._connections) == 1
+
+
+def test_banding_prevents_head_of_line_blocking():
+    """A bulk transfer on the low band must not delay urgent calls on
+    the high band; on a shared connection it would queue behind it."""
+    from repro.orb.cdr import OpaquePayload
+
+    bulk_idl = compile_idl("interface Bulk { oneway void blob(in opaque b); };")
+    BULK = bulk_idl["Bulk"]
+
+    class BulkServant(BULK.skeleton_class):
+        def blob(self, b):
+            return None
+
+    def measure(banded: bool) -> float:
+        kernel = Kernel()
+        net, client_orb, server_orb, objref = rig(kernel, bandwidth=10e6)
+        if banded:
+            client_orb.enable_priority_banded_connections([0, 30000])
+        bulk_poa = server_orb.create_poa("bulk")
+        bulk_ref = bulk_poa.activate_object(BulkServant())
+        urgent_latency = {}
+
+        def body():
+            bulk = BULK.stub_class(client_orb, bulk_ref, priority=0)
+            # 2 MB of low-priority bulk: ~1.7 s of wire time.
+            bulk.blob(OpaquePayload("blob", nbytes=2_000_000))
+            yield 0.01
+            urgent = SVC.stub_class(client_orb, objref, priority=32000)
+            started = kernel.now
+            result = yield urgent.op(1)
+            raise_if_error(result)
+            urgent_latency["value"] = kernel.now - started
+
+        Process(kernel, body(), name="driver")
+        kernel.run(until=30.0)
+        return urgent_latency["value"]
+
+    shared = measure(banded=False)
+    banded = measure(banded=True)
+    assert banded < 0.05          # urgent call zips through its own pipe
+    assert shared > banded * 5    # versus queueing behind the bulk blob

@@ -1,0 +1,223 @@
+"""Tests for RT-CORBA priority mappings and thread pools."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import Kernel, Process
+from repro.oskernel import Host, OsType, native_priority_range
+from repro.net import Dscp
+from repro.orb.rt import (
+    DscpMapping,
+    LinearPriorityMapping,
+    MAX_PRIORITY,
+    PriorityBand,
+    PriorityMappingManager,
+    TablePriorityMapping,
+    ThreadPool,
+)
+
+
+# ----------------------------------------------------------------------
+# Priority mappings
+# ----------------------------------------------------------------------
+def test_linear_mapping_endpoints():
+    mapping = LinearPriorityMapping()
+    for os_type in OsType:
+        low, high = native_priority_range(os_type)
+        assert mapping.to_native(0, os_type) == low
+        assert mapping.to_native(MAX_PRIORITY, os_type) == high
+
+
+def test_linear_mapping_monotone():
+    mapping = LinearPriorityMapping()
+    values = [mapping.to_native(p, OsType.LYNXOS) for p in range(0, 32768, 997)]
+    assert values == sorted(values)
+
+
+def test_linear_mapping_clamps_out_of_range():
+    mapping = LinearPriorityMapping()
+    assert mapping.to_native(99999, OsType.QNX) == 31
+    assert mapping.to_native(-5, OsType.QNX) == 0
+
+
+@given(st.integers(min_value=0, max_value=MAX_PRIORITY),
+       st.sampled_from(list(OsType)))
+def test_prop_linear_mapping_in_native_range(priority, os_type):
+    mapping = LinearPriorityMapping()
+    low, high = native_priority_range(os_type)
+    assert low <= mapping.to_native(priority, os_type) <= high
+
+
+def test_table_mapping_reproduces_figure2():
+    """CORBA priority 100 -> QNX 16, LynxOS 128, Solaris 136 (Fig 2)."""
+    qnx = TablePriorityMapping([(0, 0), (100, 16), (200, 24)])
+    lynx = TablePriorityMapping([(0, 0), (100, 128), (200, 192)])
+    solaris = TablePriorityMapping([(0, 100), (100, 136), (200, 150)])
+    assert qnx.to_native(100, OsType.QNX) == 16
+    assert lynx.to_native(100, OsType.LYNXOS) == 128
+    assert solaris.to_native(100, OsType.SOLARIS) == 136
+    # Priorities between thresholds use the highest band not above.
+    assert qnx.to_native(150, OsType.QNX) == 16
+
+
+def test_table_mapping_requires_zero_band():
+    with pytest.raises(ValueError):
+        TablePriorityMapping([(100, 16)])
+
+
+def test_manager_custom_mapping_installation():
+    manager = PriorityMappingManager()
+    default = manager.to_native(100, OsType.QNX)
+    manager.install_native_mapping(
+        TablePriorityMapping([(0, 0), (100, 16)])
+    )
+    assert manager.to_native(100, OsType.QNX) == 16
+    assert manager.to_native(100, OsType.QNX) != default or default == 16
+
+
+def test_manager_rejects_bogus_mapping():
+    manager = PriorityMappingManager()
+    with pytest.raises(TypeError):
+        manager.install_native_mapping(object())
+    with pytest.raises(TypeError):
+        manager.install_dscp_mapping(object())
+
+
+def test_dscp_mapping_defaults():
+    mapping = DscpMapping()
+    assert mapping.to_dscp(0) == Dscp.BE
+    assert mapping.to_dscp(32767) == Dscp.EF
+    assert mapping.to_dscp(20000) == Dscp.AF21
+
+
+def test_dscp_mapping_custom_bands():
+    mapping = DscpMapping([PriorityBand(0, Dscp.BE), PriorityBand(1, Dscp.EF)])
+    assert mapping.to_dscp(0) == Dscp.BE
+    assert mapping.to_dscp(1) == Dscp.EF
+    assert mapping.to_dscp(30000) == Dscp.EF
+
+
+@given(st.integers(min_value=0, max_value=MAX_PRIORITY))
+def test_prop_dscp_mapping_monotone_in_phb(priority):
+    """Higher CORBA priority never maps to a *worse* PHB class."""
+    from repro.net.diffserv import classify
+    mapping = DscpMapping()
+    if priority < MAX_PRIORITY:
+        assert classify(mapping.to_dscp(priority + 1)) <= classify(
+            mapping.to_dscp(priority)
+        )
+
+
+# ----------------------------------------------------------------------
+# Thread pools
+# ----------------------------------------------------------------------
+def make_pool(kernel, host, lanes):
+    return ThreadPool(kernel, host, PriorityMappingManager(), lanes)
+
+
+def test_lane_selection():
+    kernel = Kernel()
+    host = Host(kernel, "h")
+    pool = make_pool(kernel, host, [(0, 1), (10000, 1), (20000, 1)])
+    assert pool.lane_for(0).corba_priority == 0
+    assert pool.lane_for(9999).corba_priority == 0
+    assert pool.lane_for(10000).corba_priority == 10000
+    assert pool.lane_for(32767).corba_priority == 20000
+
+
+def test_pool_executes_work_items():
+    kernel = Kernel()
+    host = Host(kernel, "h")
+    pool = make_pool(kernel, host, [(0, 1)])
+    done = []
+
+    def item(thread):
+        request = host.cpu.submit(thread, 0.01)
+        yield request.done
+        done.append(kernel.now)
+
+    pool.dispatch(0, item)
+    kernel.run()
+    assert len(done) == 1
+    assert done[0] == pytest.approx(0.01)
+
+
+def test_pool_parallelism_bounded_by_thread_count():
+    kernel = Kernel()
+    host = Host(kernel, "h")
+    pool = make_pool(kernel, host, [(0, 2)])
+    finished = []
+
+    def item(label):
+        def body(thread):
+            request = host.cpu.submit(thread, 1.0)
+            yield request.done
+            finished.append((label, kernel.now))
+        return body
+
+    for i in range(4):
+        pool.dispatch(0, item(i))
+    kernel.run()
+    # One CPU serializes the work: 4 seconds total regardless of lanes,
+    # but all four items complete.
+    assert len(finished) == 4
+    assert finished[-1][1] == pytest.approx(4.0)
+
+
+def test_high_priority_lane_preempts_low():
+    kernel = Kernel()
+    host = Host(kernel, "h", os_type=OsType.LINUX)
+    pool = make_pool(kernel, host, [(0, 1), (30000, 1)])
+    order = []
+
+    def item(label, cost):
+        def body(thread):
+            request = host.cpu.submit(thread, cost)
+            yield request.done
+            order.append(label)
+        return body
+
+    pool.dispatch(0, item("low", 1.0))
+    kernel.schedule(0.1, pool.dispatch, 30000, item("high", 0.2))
+    kernel.run()
+    assert order == ["high", "low"]
+
+
+def test_pool_buffer_bound_rejects():
+    kernel = Kernel()
+    host = Host(kernel, "h")
+    pool = ThreadPool(
+        kernel, host, PriorityMappingManager(), [(0, 1)],
+        max_buffered_requests=2,
+    )
+
+    def item(thread):
+        request = host.cpu.submit(thread, 1.0)
+        yield request.done
+
+    results = [pool.dispatch(0, item) for _ in range(4)]
+    assert results == [True, True, False, False]
+    assert pool.lanes[0].requests_rejected == 2
+
+
+def test_pool_requires_lanes():
+    kernel = Kernel()
+    host = Host(kernel, "h")
+    with pytest.raises(ValueError):
+        make_pool(kernel, host, [])
+
+
+def test_worker_restores_lane_priority_after_item():
+    kernel = Kernel()
+    host = Host(kernel, "h")
+    pool = make_pool(kernel, host, [(0, 1)])
+    lane = pool.lanes[0]
+
+    def item(thread):
+        thread.set_priority(77)
+        request = host.cpu.submit(thread, 0.01)
+        yield request.done
+
+    pool.dispatch(0, item)
+    kernel.run()
+    assert lane.threads[0].priority == lane.native_priority

@@ -1,0 +1,203 @@
+"""Unit tests for resource-kernel CPU reserves."""
+
+import pytest
+
+from repro.sim import Kernel
+from repro.oskernel import (
+    AdmissionError,
+    CPU,
+    EnforcementPolicy,
+    ReserveManager,
+    SimThread,
+    ThreadState,
+)
+
+
+def make_rig(bound=0.9):
+    kernel = Kernel()
+    cpu = CPU(kernel, name="cpu0")
+    manager = ReserveManager(kernel, cpu, utilization_bound=bound)
+    return kernel, cpu, manager
+
+
+def test_admission_within_bound():
+    _, cpu, manager = make_rig(bound=0.9)
+    t = SimThread(cpu, priority=1)
+    reserve = manager.request(t, compute=0.4, period=1.0)
+    assert reserve.utilization == pytest.approx(0.4)
+    assert manager.total_utilization == pytest.approx(0.4)
+
+
+def test_admission_rejects_over_bound():
+    _, cpu, manager = make_rig(bound=0.9)
+    a = SimThread(cpu, priority=1)
+    b = SimThread(cpu, priority=1)
+    manager.request(a, compute=0.5, period=1.0)
+    with pytest.raises(AdmissionError):
+        manager.request(b, compute=0.5, period=1.0)
+
+
+def test_one_reserve_per_thread():
+    _, cpu, manager = make_rig()
+    t = SimThread(cpu, priority=1)
+    manager.request(t, compute=0.1, period=1.0)
+    with pytest.raises(AdmissionError):
+        manager.request(t, compute=0.1, period=1.0)
+
+
+def test_cancel_releases_utilization():
+    _, cpu, manager = make_rig(bound=0.9)
+    a = SimThread(cpu, priority=1)
+    b = SimThread(cpu, priority=1)
+    reserve = manager.request(a, compute=0.6, period=1.0)
+    reserve.cancel()
+    assert manager.total_utilization == pytest.approx(0.0)
+    manager.request(b, compute=0.6, period=1.0)  # now admissible
+
+
+def test_cancel_is_idempotent():
+    _, cpu, manager = make_rig()
+    t = SimThread(cpu, priority=1)
+    reserve = manager.request(t, compute=0.1, period=1.0)
+    reserve.cancel()
+    reserve.cancel()
+
+
+def test_invalid_parameters_rejected():
+    _, cpu, manager = make_rig()
+    t = SimThread(cpu, priority=1)
+    with pytest.raises(ValueError):
+        manager.request(t, compute=0.0, period=1.0)
+    with pytest.raises(ValueError):
+        manager.request(t, compute=2.0, period=1.0)
+
+
+def test_wrong_cpu_rejected():
+    kernel = Kernel()
+    cpu_a = CPU(kernel, name="a")
+    cpu_b = CPU(kernel, name="b")
+    manager = ReserveManager(kernel, cpu_a)
+    t = SimThread(cpu_b, priority=1)
+    with pytest.raises(ValueError):
+        manager.request(t, compute=0.1, period=1.0)
+
+
+def test_reserved_thread_preempts_higher_native_priority():
+    """Budgeted reserves run in the boost band above all normal threads."""
+    kernel, cpu, manager = make_rig()
+    hog = SimThread(cpu, priority=99, name="hog")
+    reserved = SimThread(cpu, priority=1, name="reserved")
+    manager.request(reserved, compute=0.5, period=1.0)
+    r_hog = cpu.submit(hog, 10.0)
+    r_res = cpu.submit(reserved, 0.5)
+    kernel.run(until=0.6)
+    # The reserved thread must have completed within its first period
+    # despite the priority-99 hog.
+    assert r_res.completed_at == pytest.approx(0.5)
+    assert r_hog.completed_at is None
+
+
+def test_reserve_guarantees_budget_every_period():
+    """An admitted (C, T) reserve delivers >= C of CPU in every period."""
+    kernel, cpu, manager = make_rig()
+    hog = SimThread(cpu, priority=99, name="hog")
+    reserved = SimThread(cpu, priority=1, name="reserved")
+    manager.request(reserved, compute=0.2, period=1.0,
+                    policy=EnforcementPolicy.HARD)
+    cpu.submit(hog, 1000.0)
+    # Reserved thread continuously demands CPU.
+    cpu.submit(reserved, 1000.0)
+    checkpoints = []
+    for period_end in range(1, 6):
+        kernel.schedule_at(
+            float(period_end), lambda: checkpoints.append(reserved.cpu_time)
+        )
+    kernel.run(until=5.0)
+    for period, total in enumerate(checkpoints, start=1):
+        assert total == pytest.approx(0.2 * period), (
+            f"period {period}: reserved thread got {total} CPU seconds"
+        )
+
+
+def test_hard_reserve_suspends_on_depletion():
+    kernel, cpu, manager = make_rig()
+    reserved = SimThread(cpu, priority=50, name="reserved")
+    manager.request(reserved, compute=0.3, period=1.0,
+                    policy=EnforcementPolicy.HARD)
+    cpu.submit(reserved, 10.0)
+    kernel.run(until=0.5)
+    assert reserved.state == ThreadState.SUSPENDED
+    assert reserved.cpu_time == pytest.approx(0.3)
+    kernel.run(until=1.5)  # replenished at t=1.0
+    assert reserved.cpu_time == pytest.approx(0.6)
+
+
+def test_soft_reserve_falls_back_to_native_priority():
+    kernel, cpu, manager = make_rig()
+    mid = SimThread(cpu, priority=50, name="mid")
+    reserved = SimThread(cpu, priority=10, name="reserved")
+    manager.request(reserved, compute=0.3, period=1.0,
+                    policy=EnforcementPolicy.SOFT)
+    cpu.submit(mid, 10.0)
+    cpu.submit(reserved, 10.0)
+    kernel.run(until=1.0)
+    # First 0.3 s: reserved (boosted).  Then mid (higher native prio)
+    # runs until the period ends.
+    assert reserved.cpu_time == pytest.approx(0.3)
+    assert mid.cpu_time == pytest.approx(0.7)
+
+
+def test_soft_reserve_runs_when_cpu_idle_after_depletion():
+    kernel, cpu, manager = make_rig()
+    reserved = SimThread(cpu, priority=10, name="reserved")
+    manager.request(reserved, compute=0.3, period=1.0,
+                    policy=EnforcementPolicy.SOFT)
+    request = cpu.submit(reserved, 0.8)
+    kernel.run()
+    # Depletes at 0.3 but keeps running at native priority on the idle
+    # CPU, finishing all 0.8 s of work by t=0.8.
+    assert request.completed_at == pytest.approx(0.8)
+
+
+def test_replenishment_counter_under_demand():
+    kernel, cpu, manager = make_rig()
+    t = SimThread(cpu, priority=1)
+    reserve = manager.request(t, compute=0.1, period=0.5,
+                              policy=EnforcementPolicy.HARD)
+    cpu.submit(t, 100.0)  # continuous demand forces every replenishment
+    kernel.run(until=2.4)
+    assert reserve.replenishments == 4
+
+
+def test_idle_reserve_schedules_no_events():
+    """A reserve whose thread never runs must not keep the sim alive."""
+    kernel, cpu, manager = make_rig()
+    t = SimThread(cpu, priority=1)
+    manager.request(t, compute=0.1, period=0.5)
+    kernel.run()  # terminates: lazy replenishment, no periodic events
+    assert kernel.now == 0.0
+
+
+def test_cancelled_reserve_stops_replenishing():
+    kernel, cpu, manager = make_rig()
+    t = SimThread(cpu, priority=1)
+    reserve = manager.request(t, compute=0.1, period=0.5,
+                              policy=EnforcementPolicy.HARD)
+    cpu.submit(t, 100.0)
+    kernel.schedule(1.1, reserve.cancel)
+    kernel.run(until=5.0)
+    assert reserve.replenishments == 2
+    assert t.reserve is None
+    # After cancellation the thread runs unreserved at native priority.
+    kernel.run(until=6.0)
+    cpu.reschedule()  # charge the in-flight slice so accounting is current
+    assert t.cpu_time > 1.0
+
+
+def test_utilization_bound_validation():
+    kernel = Kernel()
+    cpu = CPU(kernel)
+    with pytest.raises(ValueError):
+        ReserveManager(kernel, cpu, utilization_bound=0.0)
+    with pytest.raises(ValueError):
+        ReserveManager(kernel, cpu, utilization_bound=1.5)

@@ -1,0 +1,105 @@
+"""Fuzz/property tests: GIOP and CDR must be total functions —
+round-trip everything they encode, and *reject* (never crash or hang
+on) arbitrary bytes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.orb.cdr import CdrError, CdrInputStream, CdrOutputStream, OpaquePayload
+from repro.orb.giop import GiopMessage, ReplyStatus, ServiceContext
+
+
+REQUEST_FIELDS = st.tuples(
+    st.integers(min_value=0, max_value=2**32 - 1),  # request id
+    st.text(max_size=60),                            # object key
+    st.text(max_size=60),                            # operation
+    st.binary(max_size=200),                         # body
+    st.booleans(),                                   # response expected
+    st.one_of(st.none(), st.integers(min_value=0, max_value=32767)),
+)
+
+
+@given(REQUEST_FIELDS)
+def test_prop_request_roundtrip(fields):
+    request_id, key, operation, body, response_expected, priority = fields
+    message = GiopMessage.request(
+        request_id, key, operation, body,
+        response_expected=response_expected, priority=priority,
+    )
+    decoded = GiopMessage.decode(*message.encode())
+    assert decoded.request_id == request_id
+    assert decoded.object_key == key
+    assert decoded.operation == operation
+    assert decoded.body == body
+    assert decoded.response_expected == response_expected
+    assert decoded.rt_priority() == priority
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1),
+       st.binary(max_size=200),
+       st.sampled_from(list(ReplyStatus)))
+def test_prop_reply_roundtrip(request_id, body, status):
+    message = GiopMessage.reply(request_id, body, reply_status=status)
+    decoded = GiopMessage.decode(*message.encode())
+    assert decoded.request_id == request_id
+    assert decoded.body == body
+    assert decoded.reply_status == status
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100_000), max_size=5))
+def test_prop_opaque_sidecar_roundtrip(sizes):
+    opaques = [OpaquePayload(index, nbytes=size)
+               for index, size in enumerate(sizes)]
+    message = GiopMessage.request(1, "k", "op", b"", opaques=opaques)
+    encoded, sidecar = message.encode()
+    decoded = GiopMessage.decode(encoded, sidecar)
+    assert decoded.opaques == opaques
+    assert message.wire_size >= sum(sizes)
+
+
+@given(st.binary(max_size=300))
+@settings(max_examples=300)
+def test_prop_decode_arbitrary_bytes_never_crashes(data):
+    """Garbage in -> CdrError (or clean ValueError) out; no hangs, no
+    unexpected exception types."""
+    try:
+        GiopMessage.decode(data)
+    except (CdrError, ValueError):
+        pass  # rejection is the correct outcome
+
+
+@given(st.binary(max_size=120), st.integers(min_value=0, max_value=119))
+def test_prop_truncated_valid_messages_rejected_cleanly(body, cut):
+    message = GiopMessage.request(7, "key", "operation", body)
+    encoded, _ = message.encode()
+    truncated = encoded[:cut]
+    try:
+        GiopMessage.decode(truncated)
+    except (CdrError, ValueError):
+        pass
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1), st.binary(max_size=50))
+def test_prop_service_context_roundtrip(context_id, data):
+    message = GiopMessage(
+        GiopMessage.decode(*GiopMessage.request(1, "k", "o", b"").encode()
+                           ).msg_type,
+        1, object_key="k", operation="o",
+        service_contexts=[ServiceContext(context_id, data)],
+    )
+    decoded = GiopMessage.decode(*message.encode())
+    context = decoded.find_context(context_id)
+    assert context is not None
+    assert context.data == data
+
+
+@given(st.text(max_size=100))
+def test_prop_cdr_string_embedded_in_stream(text):
+    out = CdrOutputStream()
+    out.write_long(1)
+    out.write_string(text)
+    out.write_long(2)
+    inp = CdrInputStream(out.getvalue())
+    assert inp.read_long() == 1
+    assert inp.read_string() == text
+    assert inp.read_long() == 2

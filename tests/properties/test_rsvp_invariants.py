@@ -1,0 +1,106 @@
+"""Property tests: RSVP admission control can never oversubscribe."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Kernel, Process
+from repro.oskernel import Host
+from repro.net import FlowSpec, GuaranteedRateQueue, Network
+
+BOUND = 0.9
+LINK_BPS = 10e6
+
+RESERVATION_REQUESTS = st.lists(
+    st.tuples(
+        st.floats(min_value=1e5, max_value=6e6),  # rate
+        st.booleans(),                            # tear down later?
+    ),
+    min_size=1, max_size=8,
+)
+
+
+def build(kernel):
+    net = Network(kernel, default_bandwidth_bps=LINK_BPS)
+    for name in ("src", "dst"):
+        net.attach_host(Host(kernel, name))
+    router = net.add_router("r")
+
+    def q():
+        return GuaranteedRateQueue(kernel)
+
+    net.link("src", router, qdisc_a=q(), qdisc_b=q())
+    net.link(router, "dst", qdisc_a=q(), qdisc_b=q())
+    net.compute_routes()
+    net.enable_intserv(utilization_bound=BOUND)
+    return net, router
+
+
+@given(RESERVATION_REQUESTS)
+@settings(max_examples=25, deadline=None)
+def test_prop_admitted_rates_never_exceed_capacity(requests):
+    kernel = Kernel()
+    net, router = build(kernel)
+    src_agent = net.nic_of("src").rsvp_agent
+    dst_agent = net.nic_of("dst").rsvp_agent
+    reservations = []
+
+    def driver():
+        for index, (rate, tear) in enumerate(requests):
+            flow_id = f"flow-{index}"
+            src_agent.announce_path(flow_id, "dst")
+            yield 0.05
+            reservation = dst_agent.reserve(flow_id, FlowSpec(rate, 10_000))
+            if reservation.state == "pending":
+                yield reservation.established
+            reservations.append((flow_id, rate, tear, reservation))
+        # Tear some down, then verify accounting shrank accordingly.
+        for flow_id, _rate, tear, reservation in reservations:
+            if tear and reservation.is_established:
+                dst_agent.teardown(flow_id)
+                yield 0.05
+
+    Process(kernel, driver(), name="driver")
+    kernel.run(until=60.0)
+
+    capacity = LINK_BPS * BOUND
+    bottleneck = router.egress_for("dst")
+    admitted_rate = router.rsvp_agent.reserved_rate(bottleneck)
+    assert admitted_rate <= capacity + 1e-6
+    # Accounting matches the surviving reservations exactly.
+    surviving = sum(
+        rate for _f, rate, tear, reservation in reservations
+        if reservation.is_established and not tear
+    )
+    assert admitted_rate == pytest.approx(surviving, rel=1e-9)
+    # Installed buckets mirror the accounting table.
+    assert set(bottleneck.qdisc.reserved_flows()) == {
+        flow_id for flow_id, _r, tear, reservation in reservations
+        if reservation.is_established and not tear
+    }
+
+
+@given(RESERVATION_REQUESTS)
+@settings(max_examples=25, deadline=None)
+def test_prop_every_request_reaches_a_terminal_state(requests):
+    """No reservation may linger 'pending' forever: established,
+    failed, or torn down — always a decision."""
+    kernel = Kernel()
+    net, _router = build(kernel)
+    src_agent = net.nic_of("src").rsvp_agent
+    dst_agent = net.nic_of("dst").rsvp_agent
+    reservations = []
+
+    def driver():
+        for index, (rate, _tear) in enumerate(requests):
+            flow_id = f"flow-{index}"
+            src_agent.announce_path(flow_id, "dst")
+            yield 0.05
+            reservations.append(
+                dst_agent.reserve(flow_id, FlowSpec(rate, 10_000)))
+            yield 0.05
+
+    Process(kernel, driver(), name="driver")
+    kernel.run(until=120.0)
+    assert len(reservations) == len(requests)
+    for reservation in reservations:
+        assert reservation.state in ("established", "failed")

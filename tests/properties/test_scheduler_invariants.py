@@ -1,0 +1,177 @@
+"""Property tests: the CPU scheduler's fundamental invariants.
+
+These are the guarantees every higher layer silently relies on; a
+scheduler bug would invalidate all three experiments at once.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Kernel
+from repro.oskernel import (
+    CPU,
+    EnforcementPolicy,
+    ReserveManager,
+    SimThread,
+)
+
+SUBMISSIONS = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4),      # thread index
+        st.floats(min_value=0.001, max_value=0.5),  # work seconds
+        st.floats(min_value=0.0, max_value=2.0),    # submit time
+    ),
+    min_size=1, max_size=25,
+)
+
+
+@given(SUBMISSIONS, st.lists(st.integers(min_value=1, max_value=99),
+                             min_size=5, max_size=5))
+@settings(max_examples=40, deadline=None)
+def test_prop_work_conservation(submissions, priorities):
+    """Exactly the submitted work executes — never more, never less —
+    and busy time equals total work on an otherwise idle CPU."""
+    kernel = Kernel()
+    cpu = CPU(kernel)
+    threads = [SimThread(cpu, priority=p, name=f"t{i}")
+               for i, p in enumerate(priorities)]
+    total = 0.0
+    for thread_index, work, at in submissions:
+        total += work
+        kernel.schedule_at(at, cpu.submit, threads[thread_index], work)
+    kernel.run()
+    cpu.reschedule()
+    executed = sum(thread.cpu_time for thread in threads)
+    assert executed == pytest.approx(total, rel=1e-9)
+    assert cpu.busy_time == pytest.approx(total, rel=1e-9)
+
+
+@given(SUBMISSIONS, st.lists(st.integers(min_value=1, max_value=99),
+                             min_size=5, max_size=5))
+@settings(max_examples=40, deadline=None)
+def test_prop_all_requests_complete(submissions, priorities):
+    kernel = Kernel()
+    cpu = CPU(kernel)
+    threads = [SimThread(cpu, priority=p) for p in priorities]
+    requests = []
+
+    def submit(thread, work):
+        requests.append(cpu.submit(thread, work))
+
+    for thread_index, work, at in submissions:
+        kernel.schedule_at(at, submit, threads[thread_index], work)
+    kernel.run()
+    assert all(r.completed_at is not None for r in requests)
+    # Response time can never beat the work itself.
+    for request in requests:
+        assert request.response_time >= request.amount - 1e-9
+
+
+@given(st.lists(st.integers(min_value=1, max_value=99),
+                min_size=2, max_size=6, unique=True))
+@settings(max_examples=40, deadline=None)
+def test_prop_strict_priority_completion_order(priorities):
+    """Equal work submitted simultaneously completes in strict priority
+    order on an idle CPU."""
+    kernel = Kernel()
+    cpu = CPU(kernel)
+    completions = []
+    for priority in priorities:
+        thread = SimThread(cpu, priority=priority, name=str(priority))
+        request = cpu.submit(thread, 0.1)
+        request.done.wait(
+            lambda req, p=priority: completions.append(p))
+    kernel.run()
+    assert completions == sorted(priorities, reverse=True)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.05, max_value=0.2),  # compute C
+            st.floats(min_value=0.5, max_value=1.0),   # period T
+        ),
+        min_size=1, max_size=4,
+    ),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_prop_admitted_reserves_always_get_their_budget(specs, seed):
+    """THE resource-kernel guarantee (paper section 3.3): every admitted
+    (C, T) reserve with continuous demand receives >= C of CPU in every
+    period, regardless of any competing load."""
+    kernel = Kernel()
+    cpu = CPU(kernel)
+    manager = ReserveManager(kernel, cpu, utilization_bound=0.9)
+    reserved = []
+    for index, (compute, period) in enumerate(specs):
+        thread = SimThread(cpu, priority=1, name=f"r{index}")
+        try:
+            manager.request(thread, compute=compute, period=period,
+                            policy=EnforcementPolicy.HARD)
+        except Exception:
+            continue  # not admitted: no guarantee owed
+        cpu.submit(thread, 10_000.0)  # insatiable demand
+        reserved.append((thread, compute, period))
+    # A hostile competitor at maximal priority.
+    hog = SimThread(cpu, priority=10_000, name="hog")
+    cpu.submit(hog, 10_000.0)
+
+    horizon = 5.0
+    checkpoints = {thread.name: [] for thread, _, _ in reserved}
+
+    def sample(thread):
+        # Charge the in-flight slice so accounting is current at the
+        # boundary (a slice may end exactly on the sampling instant).
+        cpu.reschedule()
+        checkpoints[thread.name].append(thread.cpu_time)
+
+    for thread, compute, period in reserved:
+        k = 1
+        while k * period <= horizon:
+            kernel.schedule_at(k * period, sample, thread)
+            k += 1
+    kernel.run(until=horizon)
+    for thread, compute, period in reserved:
+        for period_index, cpu_time in enumerate(checkpoints[thread.name],
+                                                start=1):
+            entitled = compute * period_index
+            assert cpu_time >= entitled - 1e-6, (
+                f"{thread.name}: period {period_index} got {cpu_time}, "
+                f"entitled {entitled}"
+            )
+
+
+@given(st.floats(min_value=0.05, max_value=0.4),
+       st.floats(min_value=0.5, max_value=1.0))
+@settings(max_examples=25, deadline=None)
+def test_prop_hard_reserve_never_overruns(compute, period):
+    """A HARD reserve with infinite demand consumes exactly C per T."""
+    kernel = Kernel()
+    cpu = CPU(kernel)
+    manager = ReserveManager(kernel, cpu, utilization_bound=0.9)
+    thread = SimThread(cpu, priority=50)
+    manager.request(thread, compute=compute, period=period,
+                    policy=EnforcementPolicy.HARD)
+    cpu.submit(thread, 10_000.0)
+    periods = 5
+    kernel.run(until=periods * period)
+    cpu.reschedule()
+    assert thread.cpu_time == pytest.approx(periods * compute, rel=1e-6)
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0.01, max_value=0.5),
+                          st.floats(min_value=0.5, max_value=1.0)),
+                min_size=1, max_size=10))
+@settings(max_examples=50, deadline=None)
+def test_prop_admission_never_oversubscribes(specs):
+    kernel = Kernel()
+    cpu = CPU(kernel)
+    manager = ReserveManager(kernel, cpu, utilization_bound=0.9)
+    for index, (compute, period) in enumerate(specs):
+        thread = SimThread(cpu, priority=1, name=f"t{index}")
+        try:
+            manager.request(thread, compute=compute, period=period)
+        except Exception:
+            pass
+        assert manager.total_utilization <= 0.9 + 1e-9

@@ -1,0 +1,209 @@
+"""Tests for contracts and system condition objects."""
+
+import pytest
+
+from repro.sim import Kernel
+from repro.oskernel import Host
+from repro.quo import (
+    Contract,
+    CpuUtilizationSC,
+    DeliveredRateSC,
+    LossRateSC,
+    Region,
+    ValueSC,
+)
+
+
+def two_region_contract(kernel, threshold=0.8):
+    return Contract(kernel, "demo", regions=[
+        Region("overloaded", lambda s: s["load"] > threshold),
+        Region("normal"),
+    ])
+
+
+def test_contract_initial_evaluation():
+    kernel = Kernel()
+    contract = two_region_contract(kernel)
+    load = ValueSC(kernel, "load", initial=0.2)
+    contract.attach(load)
+    assert contract.evaluate() == "normal"
+    assert contract.current_region == "normal"
+
+
+def test_condition_change_triggers_transition():
+    kernel = Kernel()
+    contract = two_region_contract(kernel)
+    load = ValueSC(kernel, "load", initial=0.2)
+    contract.attach(load)
+    contract.evaluate()
+    load.set(0.9)
+    assert contract.current_region == "overloaded"
+    assert len(contract.transitions) == 2  # initial + change
+    last = contract.transitions[-1]
+    assert (last.from_region, last.to_region) == ("normal", "overloaded")
+    assert last.snapshot == {"load": 0.9}
+
+
+def test_no_transition_when_region_unchanged():
+    kernel = Kernel()
+    contract = two_region_contract(kernel)
+    load = ValueSC(kernel, "load", initial=0.2)
+    contract.attach(load)
+    contract.evaluate()
+    load.set(0.3)
+    load.set(0.4)
+    assert len(contract.transitions) == 1
+
+
+def test_enter_and_exit_callbacks_fire_in_order():
+    kernel = Kernel()
+    trace = []
+    contract = Contract(kernel, "demo", regions=[
+        Region("hot", lambda s: s["load"] > 0.5,
+               on_enter=lambda c: trace.append("enter-hot"),
+               on_exit=lambda c: trace.append("exit-hot")),
+        Region("cool",
+               on_enter=lambda c: trace.append("enter-cool"),
+               on_exit=lambda c: trace.append("exit-cool")),
+    ])
+    load = ValueSC(kernel, "load", initial=0.0)
+    contract.attach(load)
+    contract.evaluate()
+    load.set(0.9)
+    load.set(0.1)
+    assert trace == [
+        "enter-cool", "exit-cool", "enter-hot", "exit-hot", "enter-cool",
+    ]
+
+
+def test_first_matching_region_wins():
+    kernel = Kernel()
+    contract = Contract(kernel, "ordered", regions=[
+        Region("critical", lambda s: s["x"] > 10),
+        Region("elevated", lambda s: s["x"] > 5),
+        Region("normal"),
+    ])
+    x = ValueSC(kernel, "x", initial=20)
+    contract.attach(x)
+    assert contract.evaluate() == "critical"
+    x.set(7)
+    assert contract.current_region == "elevated"
+
+
+def test_no_matching_region_raises():
+    kernel = Kernel()
+    contract = Contract(kernel, "bad", regions=[
+        Region("only", lambda s: False),
+    ])
+    with pytest.raises(RuntimeError, match="no region matches"):
+        contract.evaluate()
+
+
+def test_contract_validation():
+    kernel = Kernel()
+    with pytest.raises(ValueError):
+        Contract(kernel, "empty", regions=[])
+    with pytest.raises(ValueError):
+        Contract(kernel, "dupes", regions=[Region("a"), Region("a")])
+
+
+def test_duplicate_condition_attachment_rejected():
+    kernel = Kernel()
+    contract = two_region_contract(kernel)
+    load = ValueSC(kernel, "load", initial=0.0)
+    contract.attach(load)
+    with pytest.raises(ValueError):
+        contract.attach(ValueSC(kernel, "load"))
+
+
+def test_transition_signal_fires():
+    kernel = Kernel()
+    contract = two_region_contract(kernel)
+    load = ValueSC(kernel, "load", initial=0.0)
+    contract.attach(load)
+    seen = []
+    contract.transitioned.wait(seen.append)
+    contract.evaluate()
+    kernel.run()
+    assert len(seen) == 1
+    assert seen[0].to_region == "normal"
+
+
+# ----------------------------------------------------------------------
+# System conditions
+# ----------------------------------------------------------------------
+def test_delivered_rate_measures_frames_per_second():
+    kernel = Kernel()
+    rate = DeliveredRateSC(kernel, "fps", window=1.0, update_interval=0.25)
+    rate.start()
+    for i in range(40):  # 10 fps for 4 seconds
+        kernel.schedule(i * 0.1, rate.record)
+    kernel.run(until=3.0)
+    assert rate.value == pytest.approx(10.0, abs=1.5)
+    rate.stop()
+
+
+def test_delivered_rate_decays_to_zero_on_silence():
+    kernel = Kernel()
+    rate = DeliveredRateSC(kernel, "fps", window=1.0, update_interval=0.25)
+    rate.start()
+    for i in range(10):
+        kernel.schedule(i * 0.1, rate.record)
+    kernel.run(until=5.0)
+    assert rate.value == 0.0
+    rate.stop()
+
+
+def test_loss_rate_tracks_send_receive_gap():
+    kernel = Kernel()
+    loss = LossRateSC(kernel, "loss", window=2.0, update_interval=0.5)
+    loss.start()
+    for i in range(20):
+        kernel.schedule(i * 0.05, loss.record_sent)
+        if i % 2 == 0:  # half get through
+            kernel.schedule(i * 0.05, loss.record_received)
+    kernel.run(until=1.5)
+    assert loss.value == pytest.approx(0.5, abs=0.1)
+    loss.stop()
+
+
+def test_loss_rate_zero_when_nothing_sent():
+    kernel = Kernel()
+    loss = LossRateSC(kernel, "loss")
+    loss.start()
+    kernel.run(until=2.0)
+    assert loss.value == 0.0
+    loss.stop()
+
+
+def test_cpu_utilization_condition():
+    kernel = Kernel()
+    host = Host(kernel, "h")
+    worker = host.spawn_thread("w", priority=5)
+    util = CpuUtilizationSC(kernel, "cpu", host, update_interval=0.5)
+    util.start()
+    host.cpu.submit(worker, 10.0)  # saturate
+    kernel.run(until=2.0)
+    assert util.value == pytest.approx(1.0, abs=0.01)
+    util.stop()
+
+
+def test_contract_drives_adaptation_from_cpu_condition():
+    """End-to-end: CPU saturation flips a contract region."""
+    kernel = Kernel()
+    host = Host(kernel, "h")
+    util = CpuUtilizationSC(kernel, "cpu", host, update_interval=0.25)
+    actions = []
+    contract = Contract(kernel, "cpu-watch", regions=[
+        Region("busy", lambda s: s["cpu"] > 0.9,
+               on_enter=lambda c: actions.append("shed-load")),
+        Region("idle"),
+    ])
+    contract.attach(util)
+    util.start()
+    contract.evaluate()
+    worker = host.spawn_thread("w", priority=5)
+    kernel.schedule(1.0, lambda: host.cpu.submit(worker, 5.0))
+    kernel.run(until=3.0)
+    assert contract.current_region == "busy"
+    assert actions == ["shed-load"]

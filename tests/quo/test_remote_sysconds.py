@@ -1,0 +1,114 @@
+"""Tests for distributed system conditions over the ORB."""
+
+import pytest
+
+from repro.sim import Kernel
+from repro.oskernel import Host
+from repro.net import Dscp, Network
+from repro.orb import Orb
+from repro.quo import Contract, Region
+from repro.quo.remote import SyscondPublisher, start_mirror
+
+
+def rig(kernel):
+    net = Network(kernel, default_bandwidth_bps=10e6)
+    for name in ("sender", "receiver"):
+        net.attach_host(Host(kernel, name))
+    router = net.add_router("r")
+    net.link("sender", router)
+    net.link(router, "receiver")
+    net.compute_routes()
+    sender_orb = Orb(kernel, net.host("sender"), net)
+    receiver_orb = Orb(kernel, net.host("receiver"), net)
+    # The contract lives at the *sender*; the receiver measures.
+    mirror, mirror_ref = start_mirror(sender_orb)
+    publisher = SyscondPublisher(receiver_orb, mirror_ref)
+    return net, sender_orb, receiver_orb, mirror, publisher
+
+
+def test_remote_update_reaches_mirror():
+    kernel = Kernel()
+    _, _, _, mirror, publisher = rig(kernel)
+    publisher.publish("loss", 0.25)
+    kernel.run()
+    assert mirror.updates_received == 1
+    assert mirror.condition("loss").value == 0.25
+
+
+def test_remote_condition_drives_contract():
+    kernel = Kernel()
+    _, _, _, mirror, publisher = rig(kernel)
+    loss = mirror.condition("loss", initial=0.0)
+    contract = Contract(kernel, "net", regions=[
+        Region("congested", lambda s: s["loss"] > 0.1),
+        Region("clear"),
+    ])
+    contract.attach(loss)
+    contract.evaluate()
+    publisher.publish("loss", 0.4)
+    kernel.run()
+    assert contract.current_region == "congested"
+    # The transition time reflects real network delivery, not zero.
+    assert contract.transitions[-1].time > 0
+
+
+def test_updates_arrive_in_order():
+    kernel = Kernel()
+    _, _, _, mirror, publisher = rig(kernel)
+    seen = []
+    mirror.condition("x").observe(lambda c: seen.append(c.value))
+    for value in (1, 2, 3, 4):
+        publisher.publish("x", value)
+    kernel.run()
+    assert seen == [1, 2, 3, 4]
+
+
+def test_rate_limiting_coalesces_bursts():
+    kernel = Kernel()
+    _, _, _, mirror, publisher = rig(kernel)
+    publisher.min_interval = 1.0
+    for i in range(10):
+        kernel.schedule(i * 0.05, publisher.publish, "loss", i / 10.0)
+    kernel.run(until=5.0)
+    # First push immediate; the burst coalesces into one flush.
+    assert publisher.updates_sent == 2
+    assert publisher.updates_coalesced == 9
+    # The flush carried the *latest* value of the window.
+    assert mirror.condition("loss").value == pytest.approx(0.9)
+
+
+def test_rate_limit_reopens_after_interval():
+    kernel = Kernel()
+    _, _, _, mirror, publisher = rig(kernel)
+    publisher.min_interval = 0.5
+    kernel.schedule(0.0, publisher.publish, "x", 1)
+    kernel.schedule(2.0, publisher.publish, "x", 2)  # window long past
+    kernel.run(until=5.0)
+    assert publisher.updates_sent == 2
+    assert mirror.condition("x").value == 2
+
+
+def test_publisher_marks_control_traffic():
+    kernel = Kernel()
+    net, sender_orb, receiver_orb, mirror, publisher = rig(kernel)
+    dscps = []
+    original = receiver_orb.nic.send
+
+    def spy(packet):
+        dscps.append(packet.dscp)
+        return original(packet)
+
+    receiver_orb.nic.send = spy
+    publisher.publish("loss", 0.1)
+    kernel.run()
+    assert Dscp.CS2 in dscps
+
+
+def test_mirror_creates_conditions_on_demand():
+    kernel = Kernel()
+    _, _, _, mirror, publisher = rig(kernel)
+    publisher.publish("brand-new", 7)
+    kernel.run()
+    assert mirror.condition("brand-new").value == 7
+    # Same object on repeated access.
+    assert mirror.condition("brand-new") is mirror.condition("brand-new")

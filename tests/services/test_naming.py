@@ -1,0 +1,197 @@
+"""Tests for the Naming Service."""
+
+import pytest
+
+from repro.sim import Kernel, Process
+from repro.oskernel import Host
+from repro.net import Network
+from repro.orb import Orb, OrbError, compile_idl
+from repro.orb.core import raise_if_error
+from repro.services.naming import (
+    NamingClient,
+    NamingServiceServant,
+    start_naming_service,
+    _validate_name,
+)
+
+
+def rig(kernel):
+    net = Network(kernel, default_bandwidth_bps=100e6)
+    hosts = {}
+    for name in ("app", "registry", "provider"):
+        hosts[name] = Host(kernel, name)
+        net.attach_host(hosts[name])
+    router = net.add_router("r")
+    for name in hosts:
+        net.link(name, router)
+    net.compute_routes()
+    orbs = {name: Orb(kernel, host, net) for name, host in hosts.items()}
+    servant, naming_ref = start_naming_service(orbs["registry"])
+    return orbs, servant, naming_ref
+
+
+def drive(kernel, coroutine):
+    results = []
+
+    def wrapper():
+        value = yield from coroutine
+        results.append(value)
+
+    Process(kernel, wrapper(), name="driver")
+    kernel.run()
+    assert results, "coroutine did not complete"
+    return results[0]
+
+
+def some_ref(orb):
+    IDL = "interface Probe { void ping(); };"
+    PROBE = compile_idl(IDL)["Probe"]
+
+    class ProbeServant(PROBE.skeleton_class):
+        def ping(self):
+            return None
+
+    poa_name = f"probes{orb.host.name}"
+    poa = orb.create_poa(poa_name)
+    return poa.activate_object(ProbeServant())
+
+
+def test_bind_and_resolve_across_hosts():
+    kernel = Kernel()
+    orbs, servant, naming_ref = rig(kernel)
+    provider_ref = some_ref(orbs["provider"])
+    publisher = NamingClient(orbs["provider"], naming_ref)
+    consumer = NamingClient(orbs["app"], naming_ref)
+
+    def scenario():
+        yield from publisher.bind("sensors/uav1/video", provider_ref)
+        resolved = yield from consumer.resolve("sensors/uav1/video")
+        return resolved
+
+    resolved = drive(kernel, scenario())
+    assert resolved.object_key == provider_ref.object_key
+    assert resolved.host == "provider"
+    assert servant.binding_count == 1
+
+
+def test_resolve_unknown_name_raises_remote_error():
+    kernel = Kernel()
+    orbs, _, naming_ref = rig(kernel)
+    client = NamingClient(orbs["app"], naming_ref)
+    outcome = []
+
+    def scenario():
+        try:
+            yield from client.resolve("no/such/name")
+        except OrbError as exc:
+            outcome.append(exc)
+        return True
+
+    drive(kernel, scenario())
+    assert outcome and "no/such/name" in str(outcome[0])
+
+
+def test_double_bind_rejected_rebind_allowed():
+    kernel = Kernel()
+    orbs, _, naming_ref = rig(kernel)
+    ref_a = some_ref(orbs["provider"])
+    ref_b = some_ref(orbs["app"])
+    client = NamingClient(orbs["app"], naming_ref)
+    errors = []
+
+    def scenario():
+        yield from client.bind("svc", ref_a)
+        try:
+            yield from client.bind("svc", ref_b)
+        except OrbError as exc:
+            errors.append(exc)
+        yield from client.rebind("svc", ref_b)
+        resolved = yield from client.resolve("svc")
+        return resolved
+
+    resolved = drive(kernel, scenario())
+    assert errors
+    assert resolved.host == ref_b.host
+
+
+def test_unbind_then_resolve_fails():
+    kernel = Kernel()
+    orbs, servant, naming_ref = rig(kernel)
+    ref = some_ref(orbs["provider"])
+    client = NamingClient(orbs["app"], naming_ref)
+    errors = []
+
+    def scenario():
+        yield from client.bind("tmp", ref)
+        yield from client.unbind("tmp")
+        try:
+            yield from client.resolve("tmp")
+        except OrbError as exc:
+            errors.append(exc)
+        return True
+
+    drive(kernel, scenario())
+    assert errors
+    assert servant.binding_count == 0
+
+
+def test_list_with_prefix():
+    kernel = Kernel()
+    orbs, _, naming_ref = rig(kernel)
+    ref = some_ref(orbs["provider"])
+    client = NamingClient(orbs["app"], naming_ref)
+
+    def scenario():
+        yield from client.bind("sensors/uav1", ref)
+        yield from client.bind("sensors/uav2", ref)
+        yield from client.bind("stations/ops", ref)
+        listing = yield from client.list("sensors/")
+        return listing
+
+    listing = drive(kernel, scenario())
+    assert [name for name, _ in listing] == ["sensors/uav1", "sensors/uav2"]
+    assert all(type_id.startswith("IDL:") for _, type_id in listing)
+
+
+def test_resolved_reference_is_invokable():
+    """The reference that comes back through the registry must work."""
+    kernel = Kernel()
+    orbs, _, naming_ref = rig(kernel)
+    IDL = "interface Adder { long add(in long a, in long b); };"
+    ADDER = compile_idl(IDL)["Adder"]
+
+    class AdderServant(ADDER.skeleton_class):
+        def add(self, a, b):
+            return a + b
+
+    poa = orbs["provider"].create_poa("math")
+    adder_ref = poa.activate_object(AdderServant())
+    client = NamingClient(orbs["app"], naming_ref)
+
+    def scenario():
+        yield from client.bind("math/adder", adder_ref)
+        resolved = yield from client.resolve("math/adder")
+        stub = ADDER.stub_class(orbs["app"], resolved)
+        result = yield stub.add(19, 23)
+        return raise_if_error(result)
+
+    assert drive(kernel, scenario()) == 42
+
+
+def test_name_validation():
+    for bad in ("", "/abs", "trailing/", "a//b"):
+        with pytest.raises(ValueError):
+            _validate_name(bad)
+    assert _validate_name("a/b/c") == "a/b/c"
+
+
+def test_local_servant_api_directly():
+    servant = NamingServiceServant()
+    from repro.orb.ior import ObjectReference
+    ref = ObjectReference("IDL:X:1.0", "h", 2809, "p/oid")
+    servant.bind("x", ref)
+    assert servant.resolve("x") is ref
+    with pytest.raises(KeyError):
+        servant.resolve("y")
+    servant.unbind("x")
+    assert servant.binding_count == 0

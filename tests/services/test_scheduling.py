@@ -1,0 +1,156 @@
+"""Tests for the static (RMS) scheduling service."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.services.scheduling import (
+    RmsScheduler,
+    SchedulingError,
+    TaskDescriptor,
+)
+
+
+def test_task_descriptor_validation():
+    with pytest.raises(ValueError):
+        TaskDescriptor("t", period=0, wcet=1)
+    with pytest.raises(ValueError):
+        TaskDescriptor("t", period=1, wcet=0)
+    with pytest.raises(ValueError):
+        TaskDescriptor("t", period=1, wcet=2)
+
+
+def test_duplicate_registration_rejected():
+    scheduler = RmsScheduler()
+    scheduler.register("t", 1.0, 0.1)
+    with pytest.raises(SchedulingError):
+        scheduler.register("t", 2.0, 0.1)
+
+
+def test_liu_layland_bound_values():
+    scheduler = RmsScheduler()
+    assert scheduler.liu_layland_bound() == 1.0
+    scheduler.register("a", 1.0, 0.1)
+    assert scheduler.liu_layland_bound() == pytest.approx(1.0)
+    scheduler.register("b", 2.0, 0.1)
+    assert scheduler.liu_layland_bound() == pytest.approx(
+        2 * (2 ** 0.5 - 1))
+
+
+def test_low_utilization_schedulable():
+    scheduler = RmsScheduler()
+    scheduler.register("fast", 0.1, 0.02)
+    scheduler.register("slow", 1.0, 0.2)
+    assert scheduler.schedulable()
+    assert scheduler.total_utilization == pytest.approx(0.4)
+
+
+def test_overloaded_set_rejected():
+    scheduler = RmsScheduler()
+    scheduler.register("a", 1.0, 0.7)
+    scheduler.register("b", 2.0, 1.0)
+    assert not scheduler.schedulable()
+    with pytest.raises(SchedulingError):
+        scheduler.assign_priorities()
+
+
+def test_exact_analysis_admits_beyond_liu_layland():
+    """The classic harmonic task set: U = 1.0 but RMS-schedulable."""
+    scheduler = RmsScheduler()
+    scheduler.register("a", 1.0, 0.5)
+    scheduler.register("b", 2.0, 1.0)
+    assert scheduler.total_utilization == pytest.approx(1.0)
+    assert scheduler.total_utilization > scheduler.liu_layland_bound()
+    assert scheduler.schedulable()
+
+
+def test_exact_analysis_rejects_unschedulable_above_bound():
+    """U ~ 0.93 > bound and genuinely infeasible under RMS."""
+    scheduler = RmsScheduler()
+    scheduler.register("a", 2.0, 1.0)
+    scheduler.register("b", 3.0, 1.3)
+    assert not scheduler.schedulable()
+    assert scheduler._tasks["b"].response_time > 3.0
+
+
+def test_response_times_computed():
+    scheduler = RmsScheduler()
+    scheduler.register("a", 1.0, 0.25)
+    scheduler.register("b", 4.0, 1.0)
+    assert scheduler.schedulable()
+    tasks = {t.name: t for t in scheduler.tasks}
+    assert tasks["a"].response_time == pytest.approx(0.25)
+    # b: 1.0 own + interference from a: R = 1 + ceil(R/1)*0.25 -> 1.75?
+    # iterate: R0=1 -> 1+1*0.25=1.25 -> 1+2*0.25=1.5 -> 1+2*.25=1.5 fix
+    assert tasks["b"].response_time == pytest.approx(1.5)
+
+
+def test_priority_assignment_rate_monotonic():
+    scheduler = RmsScheduler()
+    scheduler.register("slow", 10.0, 0.5)
+    scheduler.register("fast", 0.1, 0.01)
+    scheduler.register("medium", 1.0, 0.1)
+    assignment = scheduler.assign_priorities()
+    assert assignment["fast"] > assignment["medium"] > assignment["slow"]
+    assert assignment["fast"] == 30000
+    assert assignment["slow"] == 1000
+
+
+def test_single_task_gets_ceiling():
+    scheduler = RmsScheduler()
+    scheduler.register("only", 1.0, 0.1)
+    assert scheduler.assign_priorities() == {"only": 30000}
+
+
+def test_priority_range_validation():
+    scheduler = RmsScheduler()
+    scheduler.register("t", 1.0, 0.1)
+    with pytest.raises(ValueError):
+        scheduler.assign_priorities(floor=5000, ceiling=100)
+    with pytest.raises(ValueError):
+        scheduler.assign_priorities(floor=-1, ceiling=100)
+
+
+def test_unregister_frees_capacity():
+    scheduler = RmsScheduler()
+    scheduler.register("hog", 1.0, 0.9)
+    scheduler.unregister("hog")
+    scheduler.register("new", 1.0, 0.9)
+    assert scheduler.schedulable()
+
+
+@given(st.lists(
+    st.tuples(
+        st.floats(min_value=0.01, max_value=10.0),
+        st.floats(min_value=0.1, max_value=1.0),
+    ),
+    min_size=1, max_size=8,
+))
+def test_prop_liu_layland_sets_always_admitted(specs):
+    """Any set under the Liu-Layland bound must be admitted and get
+    strictly rate-monotonic priorities."""
+    scheduler = RmsScheduler()
+    n = len(specs)
+    bound = n * (2 ** (1.0 / n) - 1)
+    budget = bound * 0.95 / n  # per-task utilization share
+    for index, (period, _) in enumerate(specs):
+        scheduler.register(f"t{index}", period, period * budget)
+    assert scheduler.schedulable()
+    assignment = scheduler.assign_priorities()
+    ordered = sorted(scheduler.tasks, key=lambda t: t.period)
+    priorities = [assignment[t.name] for t in ordered]
+    assert priorities == sorted(priorities, reverse=True)
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=0.5),
+                min_size=1, max_size=6))
+def test_prop_response_time_at_least_wcet(utilizations):
+    scheduler = RmsScheduler()
+    for index, utilization in enumerate(utilizations):
+        period = 1.0 + index
+        scheduler.register(f"t{index}", period, period * utilization / 2)
+    scheduler.schedulable()
+    for task in scheduler.tasks:
+        if task.response_time is not None:
+            assert task.response_time >= task.wcet - 1e-12

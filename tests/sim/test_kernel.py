@@ -1,0 +1,154 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import Kernel, SimulationError
+
+
+def test_events_fire_in_time_order():
+    kernel = Kernel()
+    fired = []
+    kernel.schedule(2.0, fired.append, "late")
+    kernel.schedule(1.0, fired.append, "early")
+    kernel.schedule(1.5, fired.append, "middle")
+    kernel.run()
+    assert fired == ["early", "middle", "late"]
+    assert kernel.now == 2.0
+
+
+def test_same_time_events_fire_fifo():
+    kernel = Kernel()
+    fired = []
+    for label in range(10):
+        kernel.schedule(1.0, fired.append, label)
+    kernel.run()
+    assert fired == list(range(10))
+
+
+def test_schedule_at_absolute_time():
+    kernel = Kernel(start_time=5.0)
+    fired = []
+    kernel.schedule_at(7.5, fired.append, "x")
+    kernel.run()
+    assert fired == ["x"]
+    assert kernel.now == 7.5
+
+
+def test_negative_delay_rejected():
+    kernel = Kernel()
+    with pytest.raises(SimulationError):
+        kernel.schedule(-0.1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    kernel = Kernel(start_time=10.0)
+    with pytest.raises(SimulationError):
+        kernel.schedule_at(9.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    kernel = Kernel()
+    fired = []
+    handle = kernel.schedule(1.0, fired.append, "cancelled")
+    kernel.schedule(2.0, fired.append, "kept")
+    handle.cancel()
+    kernel.run()
+    assert fired == ["kept"]
+
+
+def test_cancel_is_idempotent():
+    kernel = Kernel()
+    handle = kernel.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    kernel.run()
+    assert kernel.events_executed == 0
+
+
+def test_run_until_stops_clock_at_horizon():
+    kernel = Kernel()
+    fired = []
+    kernel.schedule(1.0, fired.append, "in")
+    kernel.schedule(5.0, fired.append, "out")
+    kernel.run(until=3.0)
+    assert fired == ["in"]
+    assert kernel.now == 3.0
+    # The out-of-horizon event survives and can still run later.
+    kernel.run()
+    assert fired == ["in", "out"]
+    assert kernel.now == 5.0
+
+
+def test_run_until_advances_clock_even_with_no_events():
+    kernel = Kernel()
+    kernel.run(until=42.0)
+    assert kernel.now == 42.0
+
+
+def test_stop_halts_run():
+    kernel = Kernel()
+    fired = []
+    kernel.schedule(1.0, fired.append, "a")
+
+    def stopper():
+        fired.append("stop")
+        kernel.stop()
+
+    kernel.schedule(2.0, stopper)
+    kernel.schedule(3.0, fired.append, "never")
+    kernel.run()
+    assert fired == ["a", "stop"]
+    assert kernel.now == 2.0
+
+
+def test_events_scheduled_during_run_execute():
+    kernel = Kernel()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            kernel.schedule(1.0, chain, n + 1)
+
+    kernel.schedule(0.0, chain, 0)
+    kernel.run()
+    assert fired == [0, 1, 2, 3]
+    assert kernel.now == 3.0
+
+
+def test_peek_and_pending_skip_cancelled():
+    kernel = Kernel()
+    h1 = kernel.schedule(1.0, lambda: None)
+    kernel.schedule(2.0, lambda: None)
+    assert kernel.peek() == 1.0
+    assert kernel.pending() == 2
+    h1.cancel()
+    assert kernel.peek() == 2.0
+    assert kernel.pending() == 1
+
+
+def test_reentrant_run_rejected():
+    kernel = Kernel()
+
+    def nested():
+        with pytest.raises(SimulationError):
+            kernel.run()
+
+    kernel.schedule(1.0, nested)
+    kernel.run()
+
+
+def test_zero_delay_event_fires_at_current_time():
+    kernel = Kernel()
+    times = []
+    kernel.schedule(1.0, lambda: kernel.schedule(0.0, lambda: times.append(kernel.now)))
+    kernel.run()
+    assert times == [1.0]
+
+
+def test_events_executed_counter():
+    kernel = Kernel()
+    for _ in range(5):
+        kernel.schedule(1.0, lambda: None)
+    kernel.run()
+    assert kernel.events_executed == 5
