@@ -6,89 +6,17 @@ activates a servant, and makes calls through a generated stub.  Then a
 QuO contract watching a loss condition flips the stub's DSCP — the
 paper's adaptation pattern in its smallest form.
 
+The scenario itself lives in :mod:`repro.experiments.scenarios` so the
+``repro trace`` subcommand and the test-suite can run it too.
+
 Run:  python examples/quickstart.py
 """
 
-from repro.sim import Kernel, Process
-from repro.oskernel import Host
-from repro.net import Dscp, Network
-from repro.orb import Orb, compile_idl
-from repro.orb.core import raise_if_error
-from repro.quo import Contract, Qosket, Region, ValueSC
-
-
-IDL = """
-module Quickstart {
-    interface RangeFinder {
-        double distance(in double bearing);
-    };
-};
-"""
-RANGE_FINDER = compile_idl(IDL)["Quickstart::RangeFinder"]
-
-
-class RangeFinderServant(RANGE_FINDER.skeleton_class):
-    """A servant is just a subclass of the generated skeleton."""
-
-    def distance(self, bearing):
-        return 1000.0 + 10.0 * bearing
+from repro.experiments.scenarios import run_quickstart
 
 
 def main():
-    # --- substrate: two hosts, one router, 10 Mbps links -------------
-    kernel = Kernel()
-    client_host = Host(kernel, "operator-station")
-    server_host = Host(kernel, "sensor-platform")
-    net = Network(kernel, default_bandwidth_bps=10e6)
-    net.attach_host(client_host)
-    net.attach_host(server_host)
-    router = net.add_router("router")
-    net.link(client_host, router)
-    net.link(router, server_host)
-    net.compute_routes()
-
-    # --- middleware: one ORB per host, servant in a POA ---------------
-    client_orb = Orb(kernel, client_host, net)
-    server_orb = Orb(kernel, server_host, net)
-    poa = server_orb.create_poa("sensors")
-    objref = poa.activate_object(RangeFinderServant())
-    print(f"activated: {objref.corbaloc()}")
-
-    stub = RANGE_FINDER.stub_class(client_orb, objref)
-
-    # --- QuO: mark traffic EF when the network looks congested --------
-    loss = ValueSC(kernel, "loss", initial=0.0)
-    contract = Contract(kernel, "network-health", regions=[
-        Region("congested", lambda s: s["loss"] > 0.05),
-        Region("clear"),
-    ])
-
-    def protect(delegate, operation, args, proceed):
-        delegate.stub.dscp = Dscp.EF
-        return proceed(*args)
-
-    qosket = Qosket(kernel, contract, conditions=[loss],
-                    behaviors={"congested": protect})
-    qosket.start()
-    range_finder = qosket.apply(stub)  # quacks like the stub
-
-    # --- application ----------------------------------------------------
-    def app():
-        for bearing in (0.0, 45.0, 90.0):
-            started = kernel.now
-            result = yield range_finder.distance(bearing)
-            raise_if_error(result)
-            print(f"t={kernel.now * 1e3:7.3f}ms  distance({bearing:5.1f}) "
-                  f"= {result:7.1f}  (rtt {(kernel.now - started) * 1e3:.3f} ms, "
-                  f"dscp={stub.dscp.name if stub.dscp else 'BE'})")
-            if bearing == 45.0:
-                print("-- congestion detected; contract re-marks traffic --")
-                loss.set(0.2)
-
-    Process(kernel, app(), name="quickstart-app")
-    kernel.run()
-    print(f"done at simulated t={kernel.now * 1e3:.3f} ms; "
-          f"contract region: {contract.current_region}")
+    run_quickstart(verbose=True)
 
 
 if __name__ == "__main__":

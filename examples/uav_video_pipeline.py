@@ -9,144 +9,17 @@ contract.  A mid-run 30 Mbps load burst shows the difference: the
 reserved stream sails through, the adaptive stream sheds B/P frames to
 protect its I frames.
 
+The scenario itself lives in :mod:`repro.experiments.scenarios` so the
+``repro trace`` subcommand and the test-suite can run it too.
+
 Run:  python examples/uav_video_pipeline.py
 """
 
-from repro.sim import Kernel, Process
-from repro.sim.rng import RngRegistry
-from repro.oskernel import Host
-from repro.net import GuaranteedRateQueue, Network
-from repro.net.traffic import CbrTrafficSource
-from repro.orb import Orb
-from repro.media import FrameFilter, MpegStream
-from repro.avstreams import MMDeviceServant, StreamCtrl, StreamQoS
-from repro.core import FrameFilteringQosket
-from repro.experiments.actors import (
-    AvVideoReceiver,
-    AvVideoSender,
-    VideoDistributor,
-)
-
-
-def build_network(kernel):
-    """The Figure 3 shape: a sensor-side segment and a station-side
-    segment bridged by the multi-homed distributor host (uplinks from
-    the UAVs are slower 'wireless' links)."""
-    net = Network(kernel, default_bandwidth_bps=10e6)
-    hosts = {}
-    names = ("uav1", "uav2", "distributor", "display1", "display2", "loadgen")
-    for name in names:
-        hosts[name] = Host(kernel, name)
-        net.attach_host(hosts[name])
-    r1, r2 = net.add_router("router1"), net.add_router("router2")
-
-    def q():
-        return GuaranteedRateQueue(kernel, band_capacity=150)
-
-    net.link("uav1", r1, bandwidth_bps=5e6, qdisc_a=q(), qdisc_b=q())
-    net.link("uav2", r1, bandwidth_bps=5e6, qdisc_a=q(), qdisc_b=q())
-    net.link(r1, "distributor", qdisc_a=q(), qdisc_b=q())
-    net.link("distributor", r2, qdisc_a=q(), qdisc_b=q())
-    net.link("loadgen", r2, bandwidth_bps=100e6, qdisc_a=q(), qdisc_b=q())
-    net.link(r2, "display1", qdisc_a=q(), qdisc_b=q())
-    net.link(r2, "display2", qdisc_a=q(), qdisc_b=q())
-    net.compute_routes()
-    net.enable_intserv()
-    return net, hosts
+from repro.experiments.scenarios import run_uav_pipeline
 
 
 def main():
-    kernel = Kernel()
-    rng = RngRegistry(seed=42)
-    net, hosts = build_network(kernel)
-
-    orbs = {name: Orb(kernel, host, net) for name, host in hosts.items()
-            if name != "loadgen"}
-    devices, refs = {}, {}
-    for name, orb in orbs.items():
-        device = MMDeviceServant(kernel, orb)
-        poa = orb.create_poa("av")
-        devices[name] = device
-        refs[name] = poa.activate_object(device, oid="mmdevice")
-
-    ctrl = StreamCtrl(kernel, orbs["distributor"])
-    actors = {}
-
-    def setup():
-        # UAV 1 -> distributor with a full RSVP reservation; the onward
-        # leg to display1 is reserved too.
-        yield from ctrl.bind("uav1-in", refs["uav1"], refs["distributor"],
-                             StreamQoS(reserve_rate_bps=1.4e6))
-        yield from ctrl.bind("uav1-out", refs["distributor"],
-                             refs["display1"],
-                             StreamQoS(reserve_rate_bps=1.4e6))
-        # UAV 2 -> distributor -> display2, best effort + adaptation.
-        yield from ctrl.bind("uav2-in", refs["uav2"], refs["distributor"])
-        yield from ctrl.bind("uav2-out", refs["distributor"],
-                             refs["display2"])
-
-        # Wire the data-plane actors.
-        stream1 = MpegStream("uav1", rng=rng.stream("uav1"))
-        sender1 = AvVideoSender(
-            kernel, devices["uav1"].producer("uav1-in"), stream1)
-        filter2 = FrameFilter()
-        qosket2 = FrameFilteringQosket(kernel, filter2,
-                                       degrade_threshold=0.05)
-        stream2 = MpegStream("uav2", rng=rng.stream("uav2"))
-        sender2 = AvVideoSender(
-            kernel, devices["uav2"].producer("uav2-in"), stream2,
-            frame_filter=filter2, qosket=qosket2)
-
-        dist1 = VideoDistributor(
-            kernel, devices["distributor"].consumer("uav1-in"),
-            outputs=[devices["distributor"].producer("uav1-out")])
-        dist2 = VideoDistributor(
-            kernel, devices["distributor"].consumer("uav2-in"),
-            outputs=[devices["distributor"].producer("uav2-out")])
-
-        receiver1 = AvVideoReceiver(
-            kernel, devices["display1"].consumer("uav1-out"), name="display1")
-        receiver2 = AvVideoReceiver(
-            kernel, devices["display2"].consumer("uav2-out"),
-            sender=sender2, name="display2")
-
-        sender1.start()
-        sender2.start()
-        actors.update(sender1=sender1, sender2=sender2, dist1=dist1,
-                      dist2=dist2, receiver1=receiver1, receiver2=receiver2,
-                      qosket2=qosket2)
-
-    Process(kernel, setup(), name="setup")
-
-    # A 30 Mbps burst toward the stations between t=20 s and t=40 s.
-    burst = CbrTrafficSource(kernel, net.nic_of("loadgen"), "display2",
-                             rate_bps=30e6)
-    kernel.schedule(20.0, burst.start)
-    kernel.schedule(40.0, burst.stop)
-
-    horizon = 60.0
-    print(f"running {horizon:.0f} s of simulated mission time ...")
-    kernel.run(until=horizon)
-
-    print("\n--- stream 1 (reserved end-to-end) ---")
-    r1 = actors["receiver1"]
-    print(f"frames delivered: {r1.delivery.received_count()} "
-          f"of {actors['sender1'].frames_sent} sent")
-    stats = r1.delivery.latency.stats()
-    print(f"latency: mean {stats.mean * 1e3:.1f} ms, "
-          f"std {stats.std * 1e3:.1f} ms")
-
-    print("\n--- stream 2 (best effort + QuO frame filtering) ---")
-    r2 = actors["receiver2"]
-    s2 = actors["sender2"]
-    print(f"frames generated: {s2.frames_generated}, "
-          f"sent after filtering: {s2.frames_sent}, "
-          f"delivered: {r2.delivery.received_count()}")
-    print(f"received by type: {r2.frames_by_type}")
-    print("contract transitions:")
-    for transition in actors["qosket2"].contract.transitions:
-        print(f"  t={transition.time:6.2f}s  "
-              f"{transition.from_region} -> {transition.to_region}")
+    run_uav_pipeline(verbose=True)
 
 
 if __name__ == "__main__":

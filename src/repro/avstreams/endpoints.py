@@ -85,6 +85,16 @@ class FlowProducer:
         count = max(1, -(-nbytes // FRAGMENT_BYTES))  # ceil division
         self.frames_sent += 1
         self.bytes_sent += nbytes
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            frame_type = getattr(frame, "frame_type", None)
+            tracer.begin(
+                "av", "frame",
+                span=f"frame:{self.flow_id}:{self._frame_counter}",
+                flow=self.flow_id, bytes=nbytes, fragments=count,
+                dscp=self.dscp.name,
+                frame_type=getattr(frame_type, "value", frame_type),
+            )
         all_accepted = True
         remaining = nbytes
         for index in range(count):
@@ -165,6 +175,14 @@ class FlowConsumer:
             return
         del self._partial[fragment.key]
         self.frames_received += 1
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            flow_id, counter = fragment.key
+            tracer.end(
+                "av", "frame", span=f"frame:{flow_id}:{counter}",
+                flow=self.flow_id,
+                latency=self.kernel.now - packet.created_at,
+            )
         if self.on_frame is not None:
             latency = self.kernel.now - packet.created_at
             self.on_frame(fragment.frame, latency)

@@ -116,6 +116,88 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run a scenario with tracing on; write JSONL and a breakdown."""
+    from repro.obs import JsonlSink, LatencyBreakdown, RingBufferSink, Tracer
+
+    breakdown = LatencyBreakdown()
+    sinks = [breakdown]
+    jsonl: Optional[JsonlSink] = None
+    try:
+        if args.output is not None:
+            jsonl = JsonlSink(args.output)
+            sinks.append(jsonl)
+        else:
+            sinks.append(RingBufferSink(capacity=args.buffer))
+    except (OSError, ValueError) as exc:
+        print(f"repro trace: error: {exc}", file=sys.stderr)
+        return 2
+    layers = None
+    if args.layers is not None:
+        layers = [layer.strip() for layer in args.layers.split(",")
+                  if layer.strip()]
+    tracer = Tracer(sinks=sinks, layers=layers)
+
+    print(f"tracing scenario {args.scenario!r} ...", file=sys.stderr)
+    if args.scenario == "quickstart":
+        from repro.experiments.scenarios import run_quickstart
+
+        run_quickstart(tracer=tracer, verbose=not args.quiet)
+    elif args.scenario == "uav":
+        from repro.experiments.scenarios import run_uav_pipeline
+
+        result = run_uav_pipeline(
+            duration=args.duration, seed=args.seed, tracer=tracer,
+            verbose=not args.quiet)
+        if not args.quiet:
+            # Reconciliation: the trace's per-flow frame latency must
+            # agree with what the endpoint recorders measured.
+            frame_stats = breakdown.frame_stats()
+            for name, receiver in (
+                ("avflow:uav1-out", result["actors"]["receiver1"]),
+                ("avflow:uav2-out", result["actors"]["receiver2"]),
+            ):
+                if name in frame_stats:
+                    trace_mean = frame_stats[name].mean
+                    endpoint_mean = receiver.delivery.latency.stats().mean
+                    print(f"reconcile {name}: trace mean "
+                          f"{trace_mean * 1e3:.6f} ms vs endpoint "
+                          f"{endpoint_mean * 1e3:.6f} ms "
+                          f"(|diff| {abs(trace_mean - endpoint_mean):.2e} s)")
+    else:
+        arm = {"fig4a": PriorityArm.figure4a,
+               "fig4b": PriorityArm.figure4b}[args.scenario]()
+        result = run_priority_experiment(
+            arm, duration=args.duration, seed=args.seed, tracer=tracer)
+        if not args.quiet:
+            stage_stats = breakdown.stage_stats()
+            for sender in ("sender1", "sender2"):
+                key = f"video{sender[-1]}/sink"
+                if key in stage_stats and "to_servant" in stage_stats[key]:
+                    trace_mean = stage_stats[key]["to_servant"].mean
+                    endpoint_mean = result.stats(sender).mean
+                    print(f"reconcile {key}: trace mean "
+                          f"{trace_mean * 1e3:.6f} ms vs endpoint "
+                          f"{endpoint_mean * 1e3:.6f} ms "
+                          f"(|diff| {abs(trace_mean - endpoint_mean):.2e} s)")
+
+    print(file=sys.stderr)
+    total = tracer.records_emitted
+    by_layer: dict = {}
+    for (layer, _kind), count in tracer.counts.items():
+        by_layer[layer] = by_layer.get(layer, 0) + count
+    summary = ", ".join(f"{layer}={count}"
+                        for layer, count in sorted(by_layer.items()))
+    print(f"emitted {total} trace records ({summary})", file=sys.stderr)
+    if jsonl is not None:
+        print(f"wrote {jsonl.records_written} records to {args.output}",
+              file=sys.stderr)
+    print()
+    print(breakdown.render())
+    tracer.close()
+    return 0
+
+
 def _cmd_table2(args: argparse.Namespace) -> int:
     stats = {}
     for arm in cpu_arms():
@@ -161,6 +243,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run a single arm (e.g. 5-partial-filtering)")
 
     add("table2", _cmd_table2, "CPU reservation experiment", 120.0)
+
+    p = sub.add_parser(
+        "trace",
+        help="run a scenario with structured tracing and report a "
+             "latency breakdown",
+    )
+    p.add_argument("--scenario", default="quickstart",
+                   choices=["quickstart", "uav", "fig4a", "fig4b"],
+                   help="which scenario to trace (default quickstart)")
+    p.add_argument("--duration", type=float, default=30.0,
+                   help="simulated seconds for timed scenarios "
+                        "(default 30)")
+    p.add_argument("-o", "--output", default=None,
+                   help="write the trace as JSON Lines to this path")
+    p.add_argument("--buffer", type=int, default=65536,
+                   help="ring-buffer capacity when not writing JSONL "
+                        "(default 65536)")
+    p.add_argument("--layers", default=None,
+                   help="comma-separated layer allow-list "
+                        "(sim,os,net,orb,av,quo); default: all")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the scenario's own narrative output")
+    p.set_defaults(func=_cmd_trace)
     return parser
 
 

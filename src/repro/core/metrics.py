@@ -23,6 +23,8 @@ class SeriesStats:
             self.minimum = 0.0
             self.maximum = 0.0
             self.p50 = 0.0
+            self.p90 = 0.0
+            self.p95 = 0.0
             self.p99 = 0.0
             return
         self.mean = sum(values) / self.count
@@ -32,6 +34,8 @@ class SeriesStats:
         self.minimum = ordered[0]
         self.maximum = ordered[-1]
         self.p50 = _percentile(ordered, 0.50)
+        self.p90 = _percentile(ordered, 0.90)
+        self.p95 = _percentile(ordered, 0.95)
         self.p99 = _percentile(ordered, 0.99)
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -44,6 +48,9 @@ class SeriesStats:
 def _percentile(ordered: Sequence[float], q: float) -> float:
     if not ordered:
         return 0.0
+    # Clamp so a caller-supplied quantile outside [0, 1] cannot index
+    # past either end of the series.
+    q = min(1.0, max(0.0, q))
     index = q * (len(ordered) - 1)
     low = int(math.floor(index))
     high = int(math.ceil(index))

@@ -120,9 +120,18 @@ def run_priority_experiment(
     bottleneck_bps: float = 10e6,
     access_bps: float = 10e6,
     cpu_load_duty: float = 0.85,
+    tracer=None,
 ) -> PriorityExperimentResult:
-    """Build the section 5.1 testbed and run one arm."""
+    """Build the section 5.1 testbed and run one arm.
+
+    ``tracer`` is an optional :class:`repro.obs.Tracer` attached to the
+    kernel before any component is built, so the trace covers the whole
+    run.  Tracing never changes results (see
+    ``tests/properties/test_trace_invariants.py``).
+    """
     kernel = Kernel()
+    if tracer is not None:
+        tracer.attach(kernel)
     rng = RngRegistry(seed=seed)
 
     # --- hosts and network -------------------------------------------------

@@ -1,0 +1,273 @@
+"""Runnable example scenarios, importable by the CLI and tests.
+
+The ``examples/`` scripts are thin wrappers around these builders so
+that ``repro trace`` (and the test-suite) can run the same scenarios
+with a tracer attached and inspect the results programmatically.
+
+Each builder accepts:
+
+``tracer``
+    Optional :class:`repro.obs.Tracer`, attached to the kernel before
+    any component is built so the trace covers the entire run.
+``verbose``
+    When True, print the narrative output the example scripts show.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.sim import Kernel, Process
+from repro.sim.rng import RngRegistry
+from repro.oskernel import Host
+from repro.net import Dscp, GuaranteedRateQueue, Network
+from repro.net.traffic import CbrTrafficSource
+from repro.orb import Orb, compile_idl
+from repro.orb.core import raise_if_error
+from repro.quo import Contract, Qosket, Region, ValueSC
+from repro.media import FrameFilter, MpegStream
+from repro.avstreams import MMDeviceServant, StreamCtrl, StreamQoS
+from repro.core import FrameFilteringQosket
+from repro.experiments.actors import (
+    AvVideoReceiver,
+    AvVideoSender,
+    VideoDistributor,
+)
+
+# ----------------------------------------------------------------------
+# Quickstart: one CORBA call path plus a QuO re-marking contract
+# ----------------------------------------------------------------------
+_QUICKSTART_IDL = """
+module Quickstart {
+    interface RangeFinder {
+        double distance(in double bearing);
+    };
+};
+"""
+_RANGE_FINDER = compile_idl(_QUICKSTART_IDL)["Quickstart::RangeFinder"]
+
+
+class _RangeFinderServant(_RANGE_FINDER.skeleton_class):
+    def distance(self, bearing):
+        return 1000.0 + 10.0 * bearing
+
+
+def run_quickstart(
+    tracer=None, verbose: bool = True
+) -> Dict[str, Any]:
+    """Two hosts, one router, one servant; a contract flips the DSCP.
+
+    Returns a dict with the kernel, the contract, and the recorded
+    ``calls``: (bearing, result, rtt_seconds, dscp_name) tuples.
+    """
+    kernel = Kernel()
+    if tracer is not None:
+        tracer.attach(kernel)
+    client_host = Host(kernel, "operator-station")
+    server_host = Host(kernel, "sensor-platform")
+    net = Network(kernel, default_bandwidth_bps=10e6)
+    net.attach_host(client_host)
+    net.attach_host(server_host)
+    router = net.add_router("router")
+    net.link(client_host, router)
+    net.link(router, server_host)
+    net.compute_routes()
+
+    client_orb = Orb(kernel, client_host, net)
+    server_orb = Orb(kernel, server_host, net)
+    poa = server_orb.create_poa("sensors")
+    objref = poa.activate_object(_RangeFinderServant())
+    if verbose:
+        print(f"activated: {objref.corbaloc()}")
+
+    stub = _RANGE_FINDER.stub_class(client_orb, objref)
+
+    loss = ValueSC(kernel, "loss", initial=0.0)
+    contract = Contract(kernel, "network-health", regions=[
+        Region("congested", lambda s: s["loss"] > 0.05),
+        Region("clear"),
+    ])
+
+    def protect(delegate, operation, args, proceed):
+        delegate.stub.dscp = Dscp.EF
+        return proceed(*args)
+
+    qosket = Qosket(kernel, contract, conditions=[loss],
+                    behaviors={"congested": protect})
+    qosket.start()
+    range_finder = qosket.apply(stub)
+
+    calls = []
+
+    def app():
+        for bearing in (0.0, 45.0, 90.0):
+            started = kernel.now
+            result = yield range_finder.distance(bearing)
+            raise_if_error(result)
+            rtt = kernel.now - started
+            dscp_name = stub.dscp.name if stub.dscp else "BE"
+            calls.append((bearing, result, rtt, dscp_name))
+            if verbose:
+                print(f"t={kernel.now * 1e3:7.3f}ms  "
+                      f"distance({bearing:5.1f}) = {result:7.1f}  "
+                      f"(rtt {rtt * 1e3:.3f} ms, dscp={dscp_name})")
+            if bearing == 45.0:
+                if verbose:
+                    print("-- congestion detected; contract re-marks "
+                          "traffic --")
+                loss.set(0.2)
+
+    Process(kernel, app(), name="quickstart-app")
+    kernel.run()
+    if verbose:
+        print(f"done at simulated t={kernel.now * 1e3:.3f} ms; "
+              f"contract region: {contract.current_region}")
+    return {
+        "kernel": kernel,
+        "contract": contract,
+        "calls": calls,
+    }
+
+
+# ----------------------------------------------------------------------
+# UAV video pipeline (the paper's Figure 3 application)
+# ----------------------------------------------------------------------
+def _build_uav_network(kernel):
+    """The Figure 3 shape: a sensor-side segment and a station-side
+    segment bridged by the multi-homed distributor host (uplinks from
+    the UAVs are slower 'wireless' links)."""
+    net = Network(kernel, default_bandwidth_bps=10e6)
+    hosts = {}
+    names = ("uav1", "uav2", "distributor", "display1", "display2", "loadgen")
+    for name in names:
+        hosts[name] = Host(kernel, name)
+        net.attach_host(hosts[name])
+    r1, r2 = net.add_router("router1"), net.add_router("router2")
+
+    def q():
+        return GuaranteedRateQueue(kernel, band_capacity=150)
+
+    net.link("uav1", r1, bandwidth_bps=5e6, qdisc_a=q(), qdisc_b=q())
+    net.link("uav2", r1, bandwidth_bps=5e6, qdisc_a=q(), qdisc_b=q())
+    net.link(r1, "distributor", qdisc_a=q(), qdisc_b=q())
+    net.link("distributor", r2, qdisc_a=q(), qdisc_b=q())
+    net.link("loadgen", r2, bandwidth_bps=100e6, qdisc_a=q(), qdisc_b=q())
+    net.link(r2, "display1", qdisc_a=q(), qdisc_b=q())
+    net.link(r2, "display2", qdisc_a=q(), qdisc_b=q())
+    net.compute_routes()
+    net.enable_intserv()
+    return net, hosts
+
+
+def run_uav_pipeline(
+    duration: float = 60.0,
+    seed: int = 42,
+    tracer=None,
+    verbose: bool = True,
+    burst_start: float = 20.0,
+    burst_stop: float = 40.0,
+) -> Dict[str, Any]:
+    """Two UAV streams through a distributor; one reserved, one adaptive.
+
+    Returns a dict with the kernel and the data-plane ``actors``
+    (senders, distributors, receivers, the filtering qosket).
+    """
+    kernel = Kernel()
+    if tracer is not None:
+        tracer.attach(kernel)
+    rng = RngRegistry(seed=seed)
+    net, hosts = _build_uav_network(kernel)
+
+    orbs = {name: Orb(kernel, host, net) for name, host in hosts.items()
+            if name != "loadgen"}
+    devices, refs = {}, {}
+    for name, orb in orbs.items():
+        device = MMDeviceServant(kernel, orb)
+        poa = orb.create_poa("av")
+        devices[name] = device
+        refs[name] = poa.activate_object(device, oid="mmdevice")
+
+    ctrl = StreamCtrl(kernel, orbs["distributor"])
+    actors: Dict[str, Any] = {}
+
+    def setup():
+        # UAV 1 -> distributor with a full RSVP reservation; the onward
+        # leg to display1 is reserved too.
+        yield from ctrl.bind("uav1-in", refs["uav1"], refs["distributor"],
+                             StreamQoS(reserve_rate_bps=1.4e6))
+        yield from ctrl.bind("uav1-out", refs["distributor"],
+                             refs["display1"],
+                             StreamQoS(reserve_rate_bps=1.4e6))
+        # UAV 2 -> distributor -> display2, best effort + adaptation.
+        yield from ctrl.bind("uav2-in", refs["uav2"], refs["distributor"])
+        yield from ctrl.bind("uav2-out", refs["distributor"],
+                             refs["display2"])
+
+        stream1 = MpegStream("uav1", rng=rng.stream("uav1"))
+        sender1 = AvVideoSender(
+            kernel, devices["uav1"].producer("uav1-in"), stream1)
+        filter2 = FrameFilter()
+        qosket2 = FrameFilteringQosket(kernel, filter2,
+                                       degrade_threshold=0.05)
+        stream2 = MpegStream("uav2", rng=rng.stream("uav2"))
+        sender2 = AvVideoSender(
+            kernel, devices["uav2"].producer("uav2-in"), stream2,
+            frame_filter=filter2, qosket=qosket2)
+
+        dist1 = VideoDistributor(
+            kernel, devices["distributor"].consumer("uav1-in"),
+            outputs=[devices["distributor"].producer("uav1-out")])
+        dist2 = VideoDistributor(
+            kernel, devices["distributor"].consumer("uav2-in"),
+            outputs=[devices["distributor"].producer("uav2-out")])
+
+        receiver1 = AvVideoReceiver(
+            kernel, devices["display1"].consumer("uav1-out"),
+            name="display1")
+        receiver2 = AvVideoReceiver(
+            kernel, devices["display2"].consumer("uav2-out"),
+            sender=sender2, name="display2")
+
+        sender1.start()
+        sender2.start()
+        actors.update(sender1=sender1, sender2=sender2, dist1=dist1,
+                      dist2=dist2, receiver1=receiver1, receiver2=receiver2,
+                      qosket2=qosket2)
+
+    Process(kernel, setup(), name="setup")
+
+    # A 30 Mbps burst toward the stations mid-run.
+    burst = CbrTrafficSource(kernel, net.nic_of("loadgen"), "display2",
+                             rate_bps=30e6)
+    kernel.schedule(burst_start, burst.start)
+    kernel.schedule(burst_stop, burst.stop)
+
+    if verbose:
+        print(f"running {duration:.0f} s of simulated mission time ...")
+    kernel.run(until=duration)
+
+    if verbose:
+        print("\n--- stream 1 (reserved end-to-end) ---")
+        r1 = actors["receiver1"]
+        print(f"frames delivered: {r1.delivery.received_count()} "
+              f"of {actors['sender1'].frames_sent} sent")
+        stats = r1.delivery.latency.stats()
+        print(f"latency: mean {stats.mean * 1e3:.1f} ms, "
+              f"std {stats.std * 1e3:.1f} ms")
+
+        print("\n--- stream 2 (best effort + QuO frame filtering) ---")
+        r2 = actors["receiver2"]
+        s2 = actors["sender2"]
+        print(f"frames generated: {s2.frames_generated}, "
+              f"sent after filtering: {s2.frames_sent}, "
+              f"delivered: {r2.delivery.received_count()}")
+        print(f"received by type: {r2.frames_by_type}")
+        print("contract transitions:")
+        for transition in actors["qosket2"].contract.transitions:
+            print(f"  t={transition.time:6.2f}s  "
+                  f"{transition.from_region} -> {transition.to_region}")
+    return {
+        "kernel": kernel,
+        "net": net,
+        "actors": actors,
+    }

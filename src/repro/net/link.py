@@ -47,6 +47,14 @@ class Interface:
         if self.link is None:
             raise RuntimeError(f"interface {self.name!r} is not linked")
         accepted = self.qdisc.enqueue(packet)
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.instant(
+                "net", "hop.enqueue" if accepted else "hop.drop",
+                flow=packet.flow_id, packet=packet.packet_id,
+                iface=f"{self.owner.name}.{self.name}",
+                dscp=packet.dscp.name, depth=len(self.qdisc),
+            )
         if accepted:
             self._kick()
         return accepted
@@ -64,6 +72,14 @@ class Interface:
             return
         self._busy = True
         tx_seconds = packet.size_bits / self.link.bandwidth_bps
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.instant(
+                "net", "hop.dequeue",
+                flow=packet.flow_id, packet=packet.packet_id,
+                iface=f"{self.owner.name}.{self.name}",
+                dscp=packet.dscp.name, tx=tx_seconds,
+            )
         self.kernel.schedule(tx_seconds, self._transmit_done, packet)
 
     def _transmit_done(self, packet: Packet) -> None:
@@ -72,6 +88,13 @@ class Interface:
         if not self.link.up:
             # The link died mid-transmission: the frame is lost.
             self.link.packets_lost += 1
+            tracer = self.kernel.tracer
+            if tracer is not None:
+                tracer.instant(
+                    "net", "hop.loss",
+                    flow=packet.flow_id, packet=packet.packet_id,
+                    iface=f"{self.owner.name}.{self.name}",
+                )
             self._kick()
             return
         self.bits_sent += packet.size_bits
@@ -81,6 +104,14 @@ class Interface:
     def _deliver(self, packet: Packet) -> None:
         self.packets_received += 1
         packet.hops += 1
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.instant(
+                "net", "hop.rx",
+                flow=packet.flow_id, packet=packet.packet_id,
+                iface=f"{self.owner.name}.{self.name}",
+                dscp=packet.dscp.name, hops=packet.hops,
+            )
         self.owner.receive(packet, self)
 
     @property

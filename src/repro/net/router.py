@@ -69,10 +69,19 @@ class Router:
 
     def forward(self, packet: Packet) -> None:
         egress = self.routes.get(packet.dst)
+        tracer = self.kernel.tracer
         if egress is None:
             self.unroutable += 1
+            if tracer is not None:
+                tracer.instant("net", "route.unroutable", router=self.name,
+                               dst=packet.dst, flow=packet.flow_id,
+                               packet=packet.packet_id)
             return
         self.forwarded += 1
+        if tracer is not None:
+            tracer.instant("net", "route.forward", router=self.name,
+                           dst=packet.dst, flow=packet.flow_id,
+                           packet=packet.packet_id, dscp=packet.dscp.name)
         egress.send(packet)
 
     def __repr__(self) -> str:  # pragma: no cover

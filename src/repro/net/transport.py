@@ -321,9 +321,19 @@ class StreamConnection:
         if base_segment is not None:
             self.retransmissions += 1
             base_segment.retransmitted = True
+            self._trace_retransmit(base_segment, "rto")
             self._transmit(base_segment)
         self._rto = min(self.MAX_RTO, self._rto * 2)
         self._arm_rto()
+
+    def _trace_retransmit(self, segment: _Segment, reason: str) -> None:
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.instant(
+                "net", "stream.retransmit", seq=segment.seq, reason=reason,
+                src=self.nic.host.name, dst=self.remote_host,
+                message=segment.message_id,
+            )
 
     # ------------------------------------------------------------------
     # Receiving
@@ -394,6 +404,7 @@ class StreamConnection:
             ):
                 self.retransmissions += 1
                 hole.retransmitted = True
+                self._trace_retransmit(hole, "newreno-hole")
                 self._transmit(hole)
         elif ack_seq == self._base and self._in_flight:
             self._dup_acks += 1
@@ -405,6 +416,7 @@ class StreamConnection:
                 if base_segment is not None:
                     self.retransmissions += 1
                     base_segment.retransmitted = True
+                    self._trace_retransmit(base_segment, "fast-retransmit")
                     self._transmit(base_segment)
 
     def _handle_data(
@@ -434,6 +446,13 @@ class StreamConnection:
             )
             del self._partial[mid]
             self.messages_delivered += 1
+            tracer = self.kernel.tracer
+            if tracer is not None:
+                tracer.instant(
+                    "net", "stream.deliver", message=mid,
+                    host=self.nic.host.name, latency=meta.latency,
+                    bytes=meta.size_bytes,
+                )
             if self.on_message is not None:
                 self.on_message(payload, meta)
 

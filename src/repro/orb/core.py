@@ -204,8 +204,30 @@ class Orb:
         encoded, sidecar = message.encode()
         wire_bytes = len(encoded) + sum(o.nbytes for o in sidecar)
         band = self._band_of(priority)
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.begin(
+                "orb", "request", span=f"req:{request_id}",
+                request=request_id, operation=operation,
+                key=objref.object_key, priority=send_priority,
+                dscp=effective_dscp.name, bytes=wire_bytes,
+                oneway=not response_expected, client=self.host.name,
+            )
+            if thread is not None:
+                tracer.begin(
+                    "orb", "marshal", span=f"marshal:{request_id}",
+                    request=request_id, thread=thread.name,
+                )
 
         def transmit() -> None:
+            tr = self.kernel.tracer
+            if tr is not None:
+                if thread is not None:
+                    tr.end("orb", "marshal", span=f"marshal:{request_id}",
+                           request=request_id)
+                tr.begin("orb", "transfer", span=f"xfer:{request_id}",
+                         request=request_id, dscp=effective_dscp.name,
+                         bytes=wire_bytes)
             connection = self._connection_to(
                 objref.host, objref.port, effective_dscp, band
             )
@@ -302,11 +324,20 @@ class Orb:
         if message.msg_type is not MsgType.REPLY:
             return
         pending = self._pending.pop(message.request_id, None)
+        tracer = self.kernel.tracer
         if pending is None:
+            if tracer is not None:
+                tracer.instant("orb", "reply.late", request=message.request_id)
             return  # late reply after timeout
         if pending.timeout_event is not None:
             pending.timeout_event.cancel()
         self.replies_received += 1
+        if tracer is not None:
+            rid = message.request_id
+            tracer.end("orb", "reply.transfer", span=f"rxfer:{rid}",
+                       request=rid)
+            tracer.end("orb", "request", span=f"req:{rid}", request=rid,
+                       status=message.reply_status.name)
         if message.reply_status == ReplyStatus.SYSTEM_EXCEPTION:
             pending.signal.fire(OrbError(_decode_error(message)))
         else:
@@ -317,6 +348,10 @@ class Orb:
         if pending is None:
             return
         elapsed = self.kernel.now - pending.sent_at
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.end("orb", "request", span=f"req:{request_id}",
+                       request=request_id, status="TIMEOUT", elapsed=elapsed)
         pending.signal.fire(
             RequestTimeout(f"request {request_id} timed out after {elapsed:.3f}s")
         )
@@ -336,6 +371,11 @@ class Orb:
         message = GiopMessage.decode(encoded, sidecar)
         if message.msg_type is not MsgType.REQUEST:
             return
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.end("orb", "transfer", span=f"xfer:{message.request_id}",
+                       request=message.request_id, server=self.host.name,
+                       priority=message.rt_priority())
         poa_name, _, _oid = message.object_key.partition("/")
         poa = self._poas.get(poa_name)
         if poa is None:
@@ -358,6 +398,11 @@ class Orb:
         )
         encoded, sidecar = message.encode()
         wire_bytes = len(encoded) + sum(o.nbytes for o in sidecar)
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.begin("orb", "reply.transfer", span=f"rxfer:{request_id}",
+                         request=request_id, bytes=wire_bytes,
+                         status=reply_status.name)
         connection.send_message((encoded, sidecar), wire_bytes)
 
     def _system_exception(

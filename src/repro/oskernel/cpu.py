@@ -121,6 +121,11 @@ class CPU:
         if work_seconds < 0:
             raise ValueError(f"negative work: {work_seconds}")
         request = WorkRequest(self.kernel, thread, work_seconds)
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.begin("os", "work", span=f"work:{request.rid}",
+                         cpu=self.name, thread=thread.name,
+                         amount=work_seconds)
         queue = self._queues[thread.tid]
         queue.append(request)
         if thread.state == ThreadState.IDLE:
@@ -171,6 +176,14 @@ class CPU:
             thread.state = ThreadState.SUSPENDED
         else:
             thread.state = ThreadState.READY
+        if request is not None and request.remaining > _EPSILON:
+            tracer = self.kernel.tracer
+            if tracer is not None and consumed > 0:
+                tracer.instant(
+                    "os", "cpu.preempt", cpu=self.name, thread=thread.name,
+                    consumed=consumed, remaining=request.remaining,
+                    depleted=depleted,
+                )
         if (
             depleted
             and reserve is not None
@@ -185,6 +198,11 @@ class CPU:
         queue.pop(0)
         request.remaining = 0.0
         request.completed_at = self.kernel.now
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.end("os", "work", span=f"work:{request.rid}",
+                       cpu=self.name, thread=thread.name,
+                       response=request.response_time)
         request.done.fire(request)
         if queue:
             thread.state = ThreadState.READY
@@ -217,6 +235,10 @@ class CPU:
         if candidate.tid != self._last_dispatched:
             self.context_switches += 1
             self._last_dispatched = candidate.tid
+            tracer = self.kernel.tracer
+            if tracer is not None:
+                tracer.instant("os", "cpu.dispatch", cpu=self.name,
+                               thread=candidate.name, priority=best_key[0])
         slice_work = request.remaining
         reserve = candidate.reserve
         if reserve is not None and reserve.has_budget:

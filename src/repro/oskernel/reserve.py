@@ -137,11 +137,17 @@ class Reserve:
         boundary = self._boundary_index(self._kernel.now)
         if boundary <= self._last_boundary:
             return False
-        self.replenishments += boundary - self._last_boundary
+        delta = boundary - self._last_boundary
+        self.replenishments += delta
         self._last_boundary = boundary
         self.budget_remaining = self.compute
         if self.thread.state == ThreadState.SUSPENDED:
             self.thread.state = ThreadState.READY
+        tracer = self._kernel.tracer
+        if tracer is not None:
+            tracer.instant("os", "reserve.replenish",
+                           reserve=self.reserve_id, thread=self.thread.name,
+                           periods=delta, budget=self.compute)
         return True
 
     def consume(self, cpu_seconds: float) -> bool:
@@ -154,6 +160,13 @@ class Reserve:
         self.budget_remaining = max(0.0, self.budget_remaining - cpu_seconds)
         if self.budget_remaining <= self.budget_epsilon:
             self.budget_remaining = 0.0
+            tracer = self._kernel.tracer
+            if tracer is not None:
+                tracer.instant("os", "reserve.deplete",
+                               reserve=self.reserve_id,
+                               thread=self.thread.name,
+                               policy=self.policy.value,
+                               consumed=self.consumed_total)
             return True
         return False
 

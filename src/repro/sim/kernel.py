@@ -31,10 +31,12 @@ class ScheduledEvent:
     Cancellation is implemented by tombstoning: the heap entry stays in
     place but is skipped when popped.  This keeps ``cancel`` cheap, which
     matters because preemptive CPU scheduling cancels completion events
-    constantly.
+    constantly.  The kernel counts live tombstones and compacts the heap
+    when they dominate it, so cancel/reschedule churn cannot grow the
+    heap unboundedly.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_kernel")
 
     def __init__(
         self,
@@ -48,10 +50,25 @@ class ScheduledEvent:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        #: Owning kernel while the event sits in the heap; cleared on
+        #: pop so a late cancel() cannot skew the tombstone count.
+        self._kernel: Optional["Kernel"] = None
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        kernel = self._kernel
+        if kernel is not None:
+            kernel._cancelled += 1
+            # Tombstones are only ever created here, so this is the one
+            # place that needs to police the tombstone/live ratio.
+            if (
+                len(kernel._heap) > kernel.COMPACT_MIN_SIZE
+                and kernel._cancelled * 2 > len(kernel._heap)
+            ):
+                kernel._compact()
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         if self.time != other.time:
@@ -79,14 +96,26 @@ class Kernel:
     2.0
     """
 
+    #: Heap compaction threshold: never compact below this size (the
+    #: rebuild is not worth it), and above it only when tombstones make
+    #: up more than half of the heap.
+    COMPACT_MIN_SIZE = 512
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._heap: List[ScheduledEvent] = []
         self._seq = 0
         self._running = False
         self._stopped = False
+        #: Cancelled events still sitting in the heap (tombstones).
+        self._cancelled = 0
         #: Number of events executed so far (observability / tests).
         self.events_executed = 0
+        #: Heap compactions performed (observability / tests).
+        self.compactions = 0
+        #: Attached :class:`repro.obs.trace.Tracer`, or ``None`` (the
+        #: default: tracing off, zero overhead beyond this None check).
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -116,9 +145,25 @@ class Kernel:
                 f"cannot schedule at t={time} before now={self._now}"
             )
         event = ScheduledEvent(time, self._seq, callback, args)
+        event._kernel = self
         self._seq += 1
         heapq.heappush(self._heap, event)
         return event
+
+    def _compact(self) -> None:
+        """Drop tombstones and re-heapify.
+
+        Ordering is unaffected: events are totally ordered by
+        (time, seq), so the pop sequence after a rebuild is identical —
+        compaction can never change simulation results.
+        """
+        for event in self._heap:
+            if event.cancelled:
+                event._kernel = None
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+        self.compactions += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -130,10 +175,22 @@ class Kernel:
         """
         while self._heap:
             event = heapq.heappop(self._heap)
+            event._kernel = None
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             self._now = event.time
             self.events_executed += 1
+            tracer = self.tracer
+            if tracer is not None:
+                callback = event.callback
+                tracer.instant(
+                    "sim", "event.dispatch",
+                    callback=getattr(
+                        callback, "__qualname__", type(callback).__name__
+                    ),
+                    seq=event.seq,
+                )
             event.callback(*event.args)
             return True
         return False
@@ -153,7 +210,8 @@ class Kernel:
             while self._heap and not self._stopped:
                 nxt = self._heap[0]
                 if nxt.cancelled:
-                    heapq.heappop(self._heap)
+                    heapq.heappop(self._heap)._kernel = None
+                    self._cancelled -= 1
                     continue
                 if until is not None and nxt.time > until:
                     break
@@ -170,12 +228,21 @@ class Kernel:
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if idle."""
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            heapq.heappop(self._heap)._kernel = None
+            self._cancelled -= 1
         return self._heap[0].time if self._heap else None
 
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return len(self._heap) - self._cancelled
+
+    def pending_count(self) -> int:
+        """O(1) count of live events (alias of :meth:`pending`)."""
+        return len(self._heap) - self._cancelled
+
+    def heap_size(self) -> int:
+        """Heap entries including tombstones (observability / tests)."""
+        return len(self._heap)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Kernel now={self._now:.6f} pending={self.pending()}>"

@@ -21,13 +21,56 @@ def test_series_stats_empty():
     assert stats.count == 0
     assert stats.mean == 0.0
     assert stats.std == 0.0
+    assert stats.p50 == 0.0
+    assert stats.p90 == 0.0
+    assert stats.p95 == 0.0
+    assert stats.p99 == 0.0
 
 
 def test_series_stats_single_value():
     stats = SeriesStats([7.0])
     assert stats.mean == 7.0
     assert stats.std == 0.0
+    assert stats.p50 == 7.0
+    assert stats.p90 == 7.0
+    assert stats.p95 == 7.0
     assert stats.p99 == 7.0
+
+
+def test_series_stats_two_values_interpolate():
+    stats = SeriesStats([1.0, 3.0])
+    assert stats.p50 == pytest.approx(2.0)
+    assert stats.p90 == pytest.approx(1.0 + 0.9 * 2.0)
+    assert stats.p95 == pytest.approx(1.0 + 0.95 * 2.0)
+    assert stats.p99 == pytest.approx(1.0 + 0.99 * 2.0)
+
+
+def test_series_stats_upper_percentiles_on_known_series():
+    # 0..100 inclusive: pNN lands exactly on value NN.
+    stats = SeriesStats([float(v) for v in range(101)])
+    assert stats.p50 == pytest.approx(50.0)
+    assert stats.p90 == pytest.approx(90.0)
+    assert stats.p95 == pytest.approx(95.0)
+    assert stats.p99 == pytest.approx(99.0)
+
+
+def test_series_stats_percentiles_order_independent():
+    forward = SeriesStats([1.0, 5.0, 2.0, 9.0, 7.0])
+    backward = SeriesStats([7.0, 9.0, 2.0, 5.0, 1.0])
+    for name in ("p50", "p90", "p95", "p99"):
+        assert getattr(forward, name) == getattr(backward, name)
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1,
+                max_size=100))
+def test_prop_percentiles_monotone_and_bounded(values):
+    stats = SeriesStats(values)
+    ulp = 1e-9 * max(1.0, abs(stats.maximum), abs(stats.minimum))
+    assert stats.minimum - ulp <= stats.p50
+    assert stats.p50 <= stats.p90 + ulp
+    assert stats.p90 <= stats.p95 + ulp
+    assert stats.p95 <= stats.p99 + ulp
+    assert stats.p99 <= stats.maximum + ulp
 
 
 @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1,

@@ -1,0 +1,37 @@
+"""The ``repro trace`` subcommand end to end."""
+
+import json
+
+from repro.cli import main
+
+
+def test_trace_quickstart_writes_jsonl(tmp_path, capsys):
+    path = tmp_path / "trace.jsonl"
+    assert main(["trace", "--scenario", "quickstart", "--quiet",
+                 "-o", str(path)]) == 0
+    rows = [json.loads(line) for line in path.read_text().splitlines()]
+    assert rows
+    layers = {row["layer"] for row in rows}
+    assert {"sim", "orb", "net", "os", "quo"} <= layers
+    for row in rows:
+        assert {"t", "layer", "kind", "ph"} <= row.keys()
+    # Times are monotonically non-decreasing (single kernel clock).
+    times = [row["t"] for row in rows]
+    assert times == sorted(times)
+    out = capsys.readouterr().out
+    assert "per-stage request latency" in out
+
+
+def test_trace_layer_filter(tmp_path):
+    path = tmp_path / "orb-only.jsonl"
+    assert main(["trace", "--scenario", "quickstart", "--quiet",
+                 "--layers", "orb", "-o", str(path)]) == 0
+    rows = [json.loads(line) for line in path.read_text().splitlines()]
+    assert rows and all(row["layer"] == "orb" for row in rows)
+
+
+def test_trace_ring_buffer_mode(capsys):
+    assert main(["trace", "--scenario", "quickstart", "--quiet",
+                 "--buffer", "128"]) == 0
+    out = capsys.readouterr().out
+    assert "per-stage request latency" in out

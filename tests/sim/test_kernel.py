@@ -152,3 +152,80 @@ def test_events_executed_counter():
         kernel.schedule(1.0, lambda: None)
     kernel.run()
     assert kernel.events_executed == 5
+
+
+# ----------------------------------------------------------------------
+# Tombstone accounting and heap compaction under cancel/reschedule churn
+# ----------------------------------------------------------------------
+def test_pending_count_tracks_cancellations():
+    kernel = Kernel()
+    handles = [kernel.schedule(float(i + 1), lambda: None) for i in range(10)]
+    assert kernel.pending_count() == 10
+    for handle in handles[:4]:
+        handle.cancel()
+    assert kernel.pending_count() == 6
+    # Tombstones still occupy heap slots until popped or compacted.
+    assert kernel.heap_size() == 10
+
+
+def test_cancel_after_fire_does_not_corrupt_tombstone_count():
+    kernel = Kernel()
+    handle = kernel.schedule(1.0, lambda: None)
+    kernel.schedule(2.0, lambda: None)
+    kernel.run()
+    # Cancelling an already-executed event must not skew accounting.
+    handle.cancel()
+    assert kernel.pending_count() == 0
+    assert kernel.heap_size() == 0
+
+
+def test_cancel_reschedule_churn_does_not_grow_heap():
+    """Heavy cancel/reschedule churn (the preemptive-CPU pattern) must
+    keep the heap bounded via compaction, not accumulate tombstones."""
+    kernel = Kernel()
+    live = None
+    rounds = 20_000
+
+    def noop():
+        pass
+
+    for i in range(rounds):
+        if live is not None:
+            live.cancel()
+        live = kernel.schedule(float(i + 1), noop)
+    # One live event plus at most a compaction-threshold's worth of
+    # tombstones; without compaction the heap would hold ~20k entries.
+    assert kernel.pending_count() == 1
+    assert kernel.heap_size() <= 2 * Kernel.COMPACT_MIN_SIZE
+    assert kernel.compactions > 0
+    kernel.run()
+    assert kernel.events_executed == 1
+    assert kernel.heap_size() == 0
+
+
+def test_compaction_preserves_event_order():
+    """Compaction re-heapifies; (time, seq) total order guarantees the
+    pop sequence — and hence simulation results — are unchanged."""
+
+    def run(compact_min):
+        kernel = Kernel()
+        kernel.COMPACT_MIN_SIZE = compact_min
+        fired = []
+        handles = []
+        for i in range(500):
+            handles.append(
+                kernel.schedule(float((i * 37) % 100), fired.append, i)
+            )
+        # Cancel a deterministic half to force tombstone churn, then
+        # add more events to trigger (or not trigger) compaction.
+        for i, handle in enumerate(handles):
+            if i % 2 == 0:
+                handle.cancel()
+        for i in range(500, 700):
+            kernel.schedule(float((i * 37) % 100), fired.append, i)
+        kernel.run()
+        return fired
+
+    eager = run(compact_min=8)       # compacts many times
+    never = run(compact_min=10**9)   # never compacts
+    assert eager == never
