@@ -6,95 +6,23 @@ deep tail-drop queue builds hundreds of milliseconds of standing
 queue (hurting every interactive request sharing the path), while
 RED+ECN holds the queue near its thresholds at nearly the same
 throughput.
+
+The arm itself lives in :mod:`repro.experiments.ablations`; this file
+renders and asserts over its payload.
 """
 
-import random
-
-from repro.sim import Kernel, Process
-from repro.oskernel import Host
-from repro.net import FifoQueue, Network, StreamConnection, StreamListener
-from repro.net.aqm import RedQueue
-from repro.orb.cdr import OpaquePayload
-from repro.orb.core import raise_if_error
-from repro.orb import Orb, compile_idl
 from repro.experiments.reporting import render_table
+from repro.experiments.runner import RunSpec
 
-from _shared import publish
-
-BULK_BYTES = 4_000_000
-BOTTLENECK_BPS = 5e6
-
-IDL = "interface Probe { long rtt(in long n); };"
-PROBE = compile_idl(IDL)["Probe"]
-
-
-class ProbeServant(PROBE.skeleton_class):
-    def rtt(self, n):
-        return n
-
-
-def run_arm(use_red: bool):
-    kernel = Kernel()
-    net = Network(kernel, default_bandwidth_bps=100e6)
-    for name in ("client", "server"):
-        net.attach_host(Host(kernel, name))
-    router = net.add_router("r")
-    if use_red:
-        qdisc = RedQueue(capacity=400, min_threshold=10, max_threshold=40,
-                         max_probability=0.2, weight=0.25,
-                         rng=random.Random(5), name="red")
-    else:
-        qdisc = FifoQueue(capacity=400, name="tail-drop")
-    net.link("client", router)
-    net.link(router, "server", bandwidth_bps=BOTTLENECK_BPS, qdisc_a=qdisc)
-    net.compute_routes()
-    client_orb = Orb(kernel, net.host("client"), net)
-    server_orb = Orb(kernel, net.host("server"), net)
-    poa = server_orb.create_poa("probe")
-    probe_ref = poa.activate_object(ProbeServant())
-
-    # Bulk transfer on a raw stream sharing the bottleneck.
-    StreamListener(kernel, net.nic_of("server"), port=4000)
-    bulk = StreamConnection.connect(
-        kernel, net.nic_of("client"), "server", 4000)
-    bulk.send_message("bulk", BULK_BYTES)
-
-    probe_rtts = []
-    done = {}
-
-    def prober():
-        stub = PROBE.stub_class(client_orb, probe_ref)
-        while not done and kernel.now < 30.0:
-            started = kernel.now
-            result = yield stub.rtt(1)
-            raise_if_error(result)
-            probe_rtts.append(kernel.now - started)
-            yield 0.25
-
-    depths = []
-
-    def sampler():
-        while len(bulk._backlog) + len(bulk._in_flight) > 0:
-            depths.append(len(qdisc))
-            yield 0.05
-        done["finished_at"] = kernel.now
-
-    Process(kernel, prober(), name="prober")
-    Process(kernel, sampler(), name="sampler")
-    kernel.run(until=30.0)
-    throughput = BULK_BYTES * 8 / done.get("finished_at", 30.0)
-    return {
-        "max_queue": max(depths) if depths else 0,
-        "mean_probe_rtt": sum(probe_rtts) / len(probe_rtts),
-        "worst_probe_rtt": max(probe_rtts),
-        "bulk_throughput_mbps": throughput / 1e6,
-        "marked": getattr(qdisc, "ecn_marked", 0),
-        "dropped": qdisc.dropped,
-    }
+from _shared import publish, run_figure
 
 
 def run_both():
-    return {"tail-drop FIFO": run_arm(False), "RED + ECN": run_arm(True)}
+    fifo, red = run_figure("ablation_ecn", [
+        RunSpec("ablation_ecn", {"use_red": False}),
+        RunSpec("ablation_ecn", {"use_red": True}),
+    ])
+    return {"tail-drop FIFO": fifo, "RED + ECN": red}
 
 
 def test_ablation_ecn(benchmark):

@@ -4,65 +4,23 @@ Isolates the network half of the Fig 6 result: the same marked video
 flow under the same congestion, with the only difference being whether
 the bottleneck queue honours DSCPs.  With FIFO, marking is ink on a
 dead letter; with the DiffServ PHB it is the whole ballgame.
+
+The arm itself lives in :mod:`repro.experiments.ablations`; this file
+renders and asserts over its payload.
 """
 
-from repro.sim import Kernel
-from repro.oskernel import Host
-from repro.net import (
-    CbrTrafficSource,
-    DatagramSocket,
-    DiffServQueue,
-    Dscp,
-    FifoQueue,
-    Network,
-)
-from repro.core.metrics import DeliveryRecorder
 from repro.experiments.reporting import render_table
+from repro.experiments.runner import RunSpec
 
-from _shared import publish
-
-DURATION = 20.0
-
-
-def run_arm(diffserv: bool) -> DeliveryRecorder:
-    kernel = Kernel()
-    net = Network(kernel, default_bandwidth_bps=10e6)
-    for name in ("src", "dst", "noise"):
-        net.attach_host(Host(kernel, name))
-    router = net.add_router("r")
-    net.link("src", router)
-    net.link("noise", router)
-    qdisc = (
-        DiffServQueue(band_capacity=150)
-        if diffserv else FifoQueue(capacity=150)
-    )
-    net.link(router, "dst", qdisc_a=qdisc)
-    net.compute_routes()
-
-    recorder = DeliveryRecorder("video")
-
-    def on_receive(payload, packet):
-        recorder.record_received(kernel.now, sent_at=packet.created_at)
-
-    DatagramSocket(kernel, net.nic_of("dst"), port=7000, on_receive=on_receive)
-    sender = DatagramSocket(kernel, net.nic_of("src"))
-
-    def send(i):
-        recorder.record_sent(kernel.now)
-        sender.send_to("dst", 7000, i, payload_bytes=1000,
-                       dscp=Dscp.EF, flow_id="video")
-
-    for i in range(int(DURATION * 100)):  # 100 pps, 0.8 Mbps + headers
-        kernel.schedule_at(i / 100.0, send, i)
-    noise = CbrTrafficSource(kernel, net.nic_of("noise"), "dst",
-                             rate_bps=16e6, dscp=Dscp.BE)
-    noise.run_for(DURATION)
-    kernel.run(until=DURATION + 2.0)
-    return recorder
+from _shared import publish, run_figure
 
 
 def run_both():
-    return run_arm(diffserv=False), run_arm(diffserv=True)
+    payloads = run_figure("ablation_phb", [
+        RunSpec("ablation_phb", {"diffserv": False}),
+        RunSpec("ablation_phb", {"diffserv": True}),
+    ])
+    return payloads[0]["recorder"], payloads[1]["recorder"]
 
 
 def test_ablation_phb(benchmark):

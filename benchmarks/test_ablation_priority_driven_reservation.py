@@ -13,91 +13,27 @@ allocation policies are compared under saturating background load:
 
 Only the priority-driven allocation keeps the critical task's
 deadlines once capacity runs out.
+
+The arm itself lives in :mod:`repro.experiments.ablations`; this file
+renders and asserts over its payload.
 """
 
-from repro.sim import Kernel
-from repro.sim.process import Process
-from repro.sim.rng import RngRegistry
-from repro.oskernel import CpuLoadGenerator, Host
-from repro.oskernel.reserve import AdmissionError
-from repro.net import Network
-from repro.core import EndToEndQoSManager, ReservationPolicy
-from repro.core.metrics import LatencyRecorder
+from repro.experiments.ablations import (
+    PRIORITY_DRIVEN_TASKS as TASKS,
+    deadline_misses,
+)
 from repro.experiments.reporting import render_table
+from repro.experiments.runner import RunSpec
 
-from _shared import publish
-
-DURATION = 60.0
-#: (task name, CORBA priority, per-period compute demand), in arrival
-#: order — the critical task arrives last, after the capacity is gone.
-TASKS = [
-    ("telemetry", 100, 0.30),
-    ("logging", 10, 0.30),
-    ("navigation", 30000, 0.30),
-]
-PERIOD = 1.0
-POLICY = ReservationPolicy(cpu_compute=0.31, cpu_period=PERIOD)
-
-
-def run_arm(priority_driven: bool):
-    kernel = Kernel()
-    host = Host(kernel, "h", reserve_bound=0.7)  # room for two of three
-    net = Network(kernel)
-    manager = EndToEndQoSManager(kernel, net)
-    threads = {
-        name: host.spawn_thread(name, priority=10)
-        for name, _, _ in TASKS
-    }
-    if priority_driven:
-        manager.allocate_reservations(
-            host,
-            [(threads[name], priority, POLICY) for name, priority, _ in TASKS],
-        )
-    else:
-        for name, _, _ in TASKS:  # arrival order
-            try:
-                host.reserve_manager.request(
-                    threads[name], compute=POLICY.cpu_compute,
-                    period=POLICY.cpu_period)
-            except AdmissionError:
-                pass
-    load = CpuLoadGenerator(
-        kernel, host, priority=50, duty_cycle=1.0, burst_mean=0.05,
-        rng=RngRegistry(seed=7).stream("load"),
-    )
-    load.start()
-    response = {name: LatencyRecorder(name) for name, _, _ in TASKS}
-
-    def periodic(name, demand):
-        while True:
-            released = kernel.now
-            request = host.cpu.submit(threads[name], demand)
-            yield request.done
-            response[name].record(kernel.now, kernel.now - released)
-            remainder = released + PERIOD - kernel.now
-            if remainder > 0:
-                yield remainder
-
-    for name, _, demand in TASKS:
-        Process(kernel, periodic(name, demand), name=name)
-    kernel.run(until=DURATION)
-    return response
-
-
-def deadline_misses(recorder: LatencyRecorder) -> int:
-    """Jobs that finished late, plus released jobs that never finished.
-
-    A starved task completes few or no jobs; every job it should have
-    released but did not complete is a miss too.
-    """
-    late = sum(1 for value in recorder.series.values if value > PERIOD)
-    expected = int(DURATION / PERIOD) - 1
-    unfinished = max(0, expected - recorder.count)
-    return late + unfinished
+from _shared import publish, run_figure
 
 
 def run_both():
-    return run_arm(priority_driven=False), run_arm(priority_driven=True)
+    arrival, prioritized = run_figure("ablation_priority_driven_reservation", [
+        RunSpec("ablation_priority_driven", {"priority_driven": False}),
+        RunSpec("ablation_priority_driven", {"priority_driven": True}),
+    ])
+    return arrival["response"], prioritized["response"]
 
 
 def test_ablation_priority_driven_reservation(benchmark):
@@ -123,7 +59,7 @@ def test_ablation_priority_driven_reservation(benchmark):
     assert deadline_misses(prioritized["navigation"]) == 0
     # Two reserved tasks share the boost band, so the mean response is
     # bounded by both compute demands — still inside the period.
-    assert prioritized["navigation"].stats().mean < PERIOD
+    assert prioritized["navigation"].stats().mean < 1.0
     # Capacity is conserved: exactly one task loses out either way.
     assert deadline_misses(prioritized["logging"]) > 5
     assert deadline_misses(arrival["logging"]) == 0

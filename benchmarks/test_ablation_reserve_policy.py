@@ -6,62 +6,49 @@ task may take beyond its reservation: a SOFT reserve degrades to
 ordinary competition when its budget is spent, while a HARD reserve
 suspends — protecting background work from reservation overruns at the
 cost of reserved-task throughput.
+
+The arm itself lives in :mod:`repro.experiments.ablations`; this file
+renders and asserts over its payload.
 """
 
-from repro.sim import Kernel
-from repro.sim.rng import RngRegistry
-from repro.oskernel import CpuLoadGenerator, EnforcementPolicy, Host
+from repro.experiments.ablations import (
+    RESERVE_POLICY_DURATION as DURATION,
+    RESERVE_POLICY_PARAMS as RESERVE,
+)
 from repro.experiments.reporting import render_table
+from repro.experiments.runner import RunSpec
 
-from _shared import publish
-
-DURATION = 60.0
-RESERVE = dict(compute=0.3, period=1.0)
-
-
-def run_arm(policy: EnforcementPolicy):
-    kernel = Kernel()
-    host = Host(kernel, "h")
-    reserved = host.spawn_thread("reserved", priority=10)
-    host.reserve_manager.request(reserved, policy=policy, **RESERVE)
-    # Bursty competitor *below* the reserved thread's native priority:
-    # exactly the work a HARD reserve protects and a SOFT reserve eats.
-    load = CpuLoadGenerator(
-        kernel, host, priority=5, duty_cycle=1.0, burst_mean=0.05,
-        rng=RngRegistry(seed=3).stream("load"),
-    )
-    load.start()
-    host.cpu.submit(reserved, 10_000.0)  # insatiable reserved demand
-    kernel.run(until=DURATION)
-    host.cpu.reschedule()  # charge in-flight slices
-    return reserved.cpu_time, load.thread.cpu_time
+from _shared import publish, run_figure
 
 
 def run_both():
-    return {
-        "HARD": run_arm(EnforcementPolicy.HARD),
-        "SOFT": run_arm(EnforcementPolicy.SOFT),
-    }
+    hard, soft = run_figure("ablation_reserve_policy", [
+        RunSpec("ablation_reserve_policy", {"policy": "HARD"}),
+        RunSpec("ablation_reserve_policy", {"policy": "SOFT"}),
+    ])
+    return {"HARD": hard, "SOFT": soft}
 
 
 def test_ablation_reserve_policy(benchmark):
     results = benchmark.pedantic(run_both, rounds=1, iterations=1)
     rows = [
-        (name, f"{reserved/DURATION*100:.1f}%", f"{other/DURATION*100:.1f}%")
-        for name, (reserved, other) in results.items()
+        (name,
+         f"{r['reserved_cpu'] / DURATION * 100:.1f}%",
+         f"{r['background_cpu'] / DURATION * 100:.1f}%")
+        for name, r in results.items()
     ]
     publish("ablation_reserve_policy", render_table(
         ("enforcement", "reserved-task CPU share", "background CPU share"),
         rows))
 
-    hard_reserved, hard_bg = results["HARD"]
-    soft_reserved, soft_bg = results["SOFT"]
+    hard = results["HARD"]
+    soft = results["SOFT"]
     utilization = RESERVE["compute"] / RESERVE["period"]
     # HARD: the reserved task gets exactly its reservation, no more.
-    assert abs(hard_reserved / DURATION - utilization) < 0.02
+    assert abs(hard["reserved_cpu"] / DURATION - utilization) < 0.02
     # ...so the background work gets everything else.
-    assert hard_bg / DURATION > 0.65
+    assert hard["background_cpu"] / DURATION > 0.65
     # SOFT: the reserved task overruns into idle/low-priority time.
-    assert soft_reserved / DURATION > utilization + 0.1
+    assert soft["reserved_cpu"] / DURATION > utilization + 0.1
     # Both meet the guarantee.
-    assert soft_reserved / DURATION >= utilization - 0.01
+    assert soft["reserved_cpu"] / DURATION >= utilization - 0.01

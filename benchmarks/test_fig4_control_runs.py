@@ -6,19 +6,26 @@ degrade significantly.  Latency fluctuates widely between a few
 milliseconds to over a second for both streams."
 """
 
-from repro.experiments.priority_exp import PriorityArm, run_priority_experiment
+from repro.experiments.priority_exp import PriorityArm
 from repro.experiments.reporting import render_latency_table, render_series
+from repro.experiments.runner import RunSpec
+from repro.experiments.scenario_registry import priority_arm_params
 
-from _shared import publish
+from _shared import publish, run_figure
 
 DURATION = 30.0
+SEED = 1
 
 
 def run_both():
-    idle = run_priority_experiment(PriorityArm.figure4a(), duration=DURATION)
-    congested = run_priority_experiment(
-        PriorityArm.figure4b(), duration=DURATION)
-    return idle, congested
+    return run_figure("fig4_control_runs", [
+        RunSpec("priority",
+                {"arm": priority_arm_params(PriorityArm.figure4a()),
+                 "duration": DURATION}, seed=SEED),
+        RunSpec("priority",
+                {"arm": priority_arm_params(PriorityArm.figure4b()),
+                 "duration": DURATION}, seed=SEED),
+    ])
 
 
 def test_fig4_control_runs(benchmark):

@@ -7,19 +7,26 @@ to maintain QoS.  The system becomes unpredictable even with RT-CORBA
 priorities set."
 """
 
-from repro.experiments.priority_exp import PriorityArm, run_priority_experiment
+from repro.experiments.priority_exp import PriorityArm
 from repro.experiments.reporting import render_latency_table
+from repro.experiments.runner import RunSpec
+from repro.experiments.scenario_registry import priority_arm_params
 
-from _shared import publish
+from _shared import publish, run_figure
 
 DURATION = 30.0
+SEED = 1
 
 
 def run_both():
-    quiet = run_priority_experiment(PriorityArm.figure5a(), duration=DURATION)
-    congested = run_priority_experiment(
-        PriorityArm.figure5b(), duration=DURATION)
-    return quiet, congested
+    return run_figure("fig5_thread_priority", [
+        RunSpec("priority",
+                {"arm": priority_arm_params(PriorityArm.figure5a()),
+                 "duration": DURATION}, seed=SEED),
+        RunSpec("priority",
+                {"arm": priority_arm_params(PriorityArm.figure5b()),
+                 "duration": DURATION}, seed=SEED),
+    ])
 
 
 def test_fig5_thread_priority(benchmark):

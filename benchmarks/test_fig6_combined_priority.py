@@ -8,19 +8,26 @@ provide better end-to-end performance and predictability ... than
 either of them can do individually."
 """
 
-from repro.experiments.priority_exp import PriorityArm, run_priority_experiment
+from repro.experiments.priority_exp import PriorityArm
 from repro.experiments.reporting import render_latency_table
+from repro.experiments.runner import RunSpec
+from repro.experiments.scenario_registry import priority_arm_params
 
-from _shared import publish
+from _shared import publish, run_figure
 
 DURATION = 30.0
+SEED = 1
 
 
 def run_three():
-    fig5b = run_priority_experiment(
-        PriorityArm.figure5b(), duration=DURATION)
-    fig6 = run_priority_experiment(PriorityArm.figure6(), duration=DURATION)
-    return fig5b, fig6
+    return run_figure("fig6_combined_priority", [
+        RunSpec("priority",
+                {"arm": priority_arm_params(PriorityArm.figure5b()),
+                 "duration": DURATION}, seed=SEED),
+        RunSpec("priority",
+                {"arm": priority_arm_params(PriorityArm.figure6()),
+                 "duration": DURATION}, seed=SEED),
+    ])
 
 
 def test_fig6_combined_priority(benchmark):

@@ -9,26 +9,31 @@ Paper timeline: 300 s of video, a 43.8 Mbps load burst from t=60 s to
 t=120 s.
 """
 
-from repro.experiments.reservation_net_exp import (
-    NetworkArm,
-    run_network_reservation_experiment,
-)
+from repro.experiments.reservation_net_exp import NetworkArm
 from repro.experiments.reporting import render_cumulative_delivery
+from repro.experiments.runner import RunSpec
+from repro.experiments.scenario_registry import network_arm_params
 
-from _shared import publish
+from _shared import publish, run_figure
 
 TIMELINE = dict(duration=300.0, load_start=60.0, load_end=120.0)
+SEED = 1
+CASES = [
+    ("no adaptation", NetworkArm("1-none", None, False)),
+    ("partial resv + frame filtering",
+     NetworkArm("5-partial-filtering", "partial", True)),
+    ("full reservation", NetworkArm("3-full", "full", False)),
+]
 
 
 def run_cases():
-    return {
-        "no adaptation": run_network_reservation_experiment(
-            NetworkArm("1-none", None, False), **TIMELINE),
-        "partial resv + frame filtering": run_network_reservation_experiment(
-            NetworkArm("5-partial-filtering", "partial", True), **TIMELINE),
-        "full reservation": run_network_reservation_experiment(
-            NetworkArm("3-full", "full", False), **TIMELINE),
-    }
+    payloads = run_figure("fig7_frame_delivery", [
+        RunSpec("reservation_net",
+                {"arm": network_arm_params(arm), **TIMELINE}, seed=SEED)
+        for _, arm in CASES
+    ])
+    return {label: payload
+            for (label, _), payload in zip(CASES, payloads)}
 
 
 def test_fig7_frame_delivery(benchmark):

@@ -9,22 +9,25 @@ partial reservation alone 43.9 %; full reservation ~100 % / 190 ms;
 filtered arms ~99-100 % / 171-276 ms.
 """
 
-from repro.experiments.reservation_net_exp import (
-    all_arms,
-    run_network_reservation_experiment,
-)
+from repro.experiments.reservation_net_exp import all_arms
 from repro.experiments.reporting import render_table1
+from repro.experiments.runner import RunSpec
+from repro.experiments.scenario_registry import network_arm_params
 
-from _shared import publish
+from _shared import publish, run_figure
 
 TIMELINE = dict(duration=300.0, load_start=60.0, load_end=120.0)
+SEED = 1
 
 
 def run_all():
-    return {
-        arm.name: run_network_reservation_experiment(arm, **TIMELINE)
-        for arm in all_arms()
-    }
+    arms = all_arms()
+    payloads = run_figure("table1_network_reservation", [
+        RunSpec("reservation_net",
+                {"arm": network_arm_params(arm), **TIMELINE}, seed=SEED)
+        for arm in arms
+    ])
+    return {arm.name: payload for arm, payload in zip(arms, payloads)}
 
 
 def test_table1_network_reservation(benchmark):

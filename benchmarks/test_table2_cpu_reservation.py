@@ -6,23 +6,27 @@ no load, with competing CPU load (times inflate — the paper measured
 resource-kernel CPU reserve (times and variance restored to baseline).
 """
 
-from repro.experiments.reservation_cpu_exp import (
-    all_arms,
-    run_cpu_reservation_experiment,
-)
+from repro.experiments.reservation_cpu_exp import all_arms
 from repro.experiments.reporting import render_table2
+from repro.experiments.runner import RunSpec
+from repro.experiments.scenario_registry import cpu_arm_params
 
-from _shared import publish
+from _shared import publish, run_figure
 
 DURATION = 120.0
+SEED = 1
 ALGORITHMS = ("Kirsch", "Prewitt", "Sobel")
 
 
 def run_all():
-    return {
-        arm.name: run_cpu_reservation_experiment(arm, duration=DURATION)
-        for arm in all_arms()
-    }
+    arms = all_arms()
+    payloads = run_figure("table2_cpu_reservation", [
+        RunSpec("reservation_cpu",
+                {"arm": cpu_arm_params(arm), "duration": DURATION},
+                seed=SEED)
+        for arm in arms
+    ])
+    return {arm.name: payload for arm, payload in zip(arms, payloads)}
 
 
 def test_table2_cpu_reservation(benchmark):

@@ -4,19 +4,27 @@ Runs any of the paper's experiments with configurable parameters and
 prints the paper-style tables plus ASCII charts — the quickest way to
 poke at a scenario without writing a script.
 
+Independent simulation arms fan out across a process pool (``--jobs``)
+and completed runs are served from the on-disk result cache; both are
+wired through :mod:`repro.experiments.runner`, so results are
+bit-identical at any worker count.
+
 Examples::
 
     python -m repro fig4 --duration 20
-    python -m repro fig6
+    python -m repro --jobs 4 fig6
     python -m repro table1 --duration 120 --load-start 30 --load-end 90
     python -m repro table2 --duration 60
     python -m repro fig7 --arm 5-partial-filtering
+    python -m repro --jobs 4 bench
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from typing import List, Optional
 
 from repro.experiments.charts import ascii_cumulative, ascii_timeseries
@@ -25,28 +33,37 @@ from repro.experiments.priority_exp import (
     all_arms as priority_arms,
     run_priority_experiment,
 )
-from repro.experiments.reservation_cpu_exp import (
-    all_arms as cpu_arms,
-    run_cpu_reservation_experiment,
-)
-from repro.experiments.reservation_net_exp import (
-    all_arms as network_arms,
-    run_network_reservation_experiment,
-)
+from repro.experiments.reservation_net_exp import all_arms as network_arms
+from repro.experiments.reservation_cpu_exp import all_arms as cpu_arms
 from repro.experiments.reporting import (
     render_latency_table,
     render_table1,
     render_table2,
 )
+from repro.experiments.runner import ExperimentRunner, RunSpec
+from repro.experiments.scenario_registry import (
+    cpu_arm_params,
+    figure_specs,
+    network_arm_params,
+    priority_arm_params,
+)
+
+
+def _runner(args: argparse.Namespace) -> ExperimentRunner:
+    return ExperimentRunner(
+        jobs=args.jobs, cache=False if args.no_cache else None)
 
 
 def _cmd_priority(args: argparse.Namespace, arms: List[PriorityArm]) -> int:
-    results = {}
-    for arm in arms:
-        print(f"running {arm.name} ({args.duration:.0f}s simulated) ...",
-              file=sys.stderr)
-        results[arm.name] = run_priority_experiment(
-            arm, duration=args.duration, seed=args.seed)
+    print(f"running {', '.join(arm.name for arm in arms)} "
+          f"({args.duration:.0f}s simulated) ...", file=sys.stderr)
+    payloads = _runner(args).payloads([
+        RunSpec("priority",
+                {"arm": priority_arm_params(arm), "duration": args.duration},
+                seed=args.seed)
+        for arm in arms
+    ])
+    results = {arm.name: payload for arm, payload in zip(arms, payloads)}
     print(render_latency_table({
         name: {s: result.stats(s) for s in ("sender1", "sender2")}
         for name, result in results.items()
@@ -90,26 +107,37 @@ def _network_arm(name: Optional[str]):
     return matches
 
 
+def _network_specs(args: argparse.Namespace, arms) -> List[RunSpec]:
+    return [
+        RunSpec("reservation_net",
+                {"arm": network_arm_params(arm), "duration": args.duration,
+                 "load_start": args.load_start, "load_end": args.load_end},
+                seed=args.seed)
+        for arm in arms
+    ]
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
-    rows = []
-    for arm in _network_arm(args.arm):
-        print(f"running {arm.name} ...", file=sys.stderr)
-        result = run_network_reservation_experiment(
-            arm, duration=args.duration, load_start=args.load_start,
-            load_end=args.load_end, seed=args.seed)
-        rows.append((arm.name,
-                     result.delivered_fraction_under_load(),
-                     result.latency_under_load()))
+    arms = _network_arm(args.arm)
+    print(f"running {', '.join(arm.name for arm in arms)} ...",
+          file=sys.stderr)
+    payloads = _runner(args).payloads(_network_specs(args, arms))
+    rows = [
+        (arm.name,
+         result.delivered_fraction_under_load(),
+         result.latency_under_load())
+        for arm, result in zip(arms, payloads)
+    ]
     print(render_table1(rows))
     return 0
 
 
 def _cmd_fig7(args: argparse.Namespace) -> int:
-    for arm in _network_arm(args.arm):
-        print(f"running {arm.name} ...", file=sys.stderr)
-        result = run_network_reservation_experiment(
-            arm, duration=args.duration, load_start=args.load_start,
-            load_end=args.load_end, seed=args.seed)
+    arms = _network_arm(args.arm)
+    print(f"running {', '.join(arm.name for arm in arms)} ...",
+          file=sys.stderr)
+    payloads = _runner(args).payloads(_network_specs(args, arms))
+    for arm, result in zip(arms, payloads):
         rows = result.cumulative_counts(bin_width=args.duration / 30)
         print()
         print(ascii_cumulative(f"Fig 7 — {arm.name}", rows))
@@ -199,13 +227,70 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
-    stats = {}
-    for arm in cpu_arms():
-        print(f"running {arm.name} ...", file=sys.stderr)
-        result = run_cpu_reservation_experiment(
-            arm, duration=args.duration, seed=args.seed)
-        stats[arm.name] = result.algorithm_stats
-    print(render_table2(stats))
+    arms = cpu_arms()
+    print(f"running {', '.join(arm.name for arm in arms)} ...",
+          file=sys.stderr)
+    payloads = _runner(args).payloads([
+        RunSpec("reservation_cpu",
+                {"arm": cpu_arm_params(arm), "duration": args.duration},
+                seed=args.seed)
+        for arm in arms
+    ])
+    print(render_table2({
+        arm.name: result.algorithm_stats
+        for arm, result in zip(arms, payloads)
+    }))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Regenerate every figure through the parallel engine.
+
+    Prints a per-figure timing table and writes ``BENCH_figures.json``
+    (wall time, simulated-event throughput, worker count, cache hits
+    per figure) to ``--output``.
+    """
+    runner = _runner(args)
+    suite = figure_specs()
+    if args.figure:
+        missing = [name for name in args.figure if name not in suite]
+        if missing:
+            known = ", ".join(suite)
+            raise SystemExit(
+                f"unknown figure(s) {', '.join(missing)}; known: {known}")
+        suite = {name: suite[name] for name in args.figure}
+    entries = {}
+    total_wall = 0.0
+    for name, specs in suite.items():
+        print(f"bench {name} ({len(specs)} arms) ...", file=sys.stderr)
+        started = time.perf_counter()
+        results = runner.run(specs)
+        wall = time.perf_counter() - started
+        total_wall += wall
+        events = sum(r.events for r in results)
+        entries[name] = {
+            "wall_seconds": round(wall, 4),
+            "events": events,
+            "events_per_sec": round(events / wall) if wall > 0 else 0,
+            "runs": len(results),
+            "cache_hits": sum(1 for r in results if r.cached),
+            "workers": runner.jobs,
+        }
+    header = f"{'figure':<40} {'wall':>8} {'events/s':>10} {'hits':>5}"
+    print(header)
+    print("-" * len(header))
+    for name, entry in entries.items():
+        print(f"{name:<40} {entry['wall_seconds']:>7.2f}s "
+              f"{entry['events_per_sec']:>10,} "
+              f"{entry['cache_hits']:>3}/{entry['runs']}")
+    print(f"{'total':<40} {total_wall:>7.2f}s   "
+          f"(jobs={runner.jobs}, cache "
+          f"{'on' if runner.cache_enabled else 'off'})")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(entries, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.output}", file=sys.stderr)
     return 0
 
 
@@ -216,6 +301,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=1,
                         help="root random seed (default 1)")
+    parser.add_argument("-j", "--jobs", type=int, default=None,
+                        help="worker processes for independent arms "
+                             "(default: REPRO_JOBS or the CPU count)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute every arm, ignoring the on-disk "
+                             "result cache")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add(name, func, help_text, duration):
@@ -243,6 +334,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run a single arm (e.g. 5-partial-filtering)")
 
     add("table2", _cmd_table2, "CPU reservation experiment", 120.0)
+
+    p = sub.add_parser(
+        "bench",
+        help="regenerate the full figure suite through the parallel "
+             "engine and report per-figure timings",
+    )
+    p.add_argument("--figure", action="append", default=None,
+                   help="limit to one figure (repeatable); default: all")
+    p.add_argument("-o", "--output", default="BENCH_figures.json",
+                   help="write per-figure timing JSON here "
+                        "(default BENCH_figures.json; '' to skip)")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(
         "trace",

@@ -102,6 +102,10 @@ class PriorityExperimentResult:
         self.duration = duration
         self.latency: Dict[str, LatencyRecorder] = {}
         self.frames_sent: Dict[str, int] = {}
+        #: Kernel event count for the run (throughput observability).
+        #: Everything here is plain data, so results pickle cleanly
+        #: across the parallel runner's process boundary.
+        self.events_executed = 0
 
     def series(self, sender: str, bin_width: float = 0.5):
         """Binned mean latency — the Fig 4-6 curves."""
@@ -248,6 +252,7 @@ def run_priority_experiment(
     kernel.run(until=duration)
 
     result = PriorityExperimentResult(arm, duration)
+    result.events_executed = kernel.events_executed
     for name, servant in servants.items():
         result.latency[name] = servant.latency
         result.frames_sent[name] = senders[name].frames_sent

@@ -74,9 +74,19 @@ class CpuExperimentResult:
         self.images_processed = 0
         self.algorithm_stats: Dict[str, SeriesStats] = {}
         self.reserve: Optional[Reserve] = None
+        #: Kernel event count for the run (throughput observability).
+        self.events_executed = 0
 
     def stats(self, algorithm: str) -> SeriesStats:
         return self.algorithm_stats[algorithm]
+
+    def __getstate__(self) -> Dict[str, object]:
+        # The live Reserve references the kernel; everything else is
+        # plain data, so results pickle across the parallel runner's
+        # process boundary with only the reserve handle dropped.
+        state = dict(self.__dict__)
+        state["reserve"] = None
+        return state
 
 
 def run_cpu_reservation_experiment(
@@ -152,6 +162,7 @@ def run_cpu_reservation_experiment(
     kernel.run(until=duration)
 
     result.images_processed = servant.images_processed
+    result.events_executed = kernel.events_executed
     for algorithm, recorder in servant.timings.items():
         result.algorithm_stats[algorithm] = recorder.stats()
     return result

@@ -37,7 +37,7 @@ from repro.media.filtering import FrameFilter
 from repro.media.mpeg import MpegStream
 from repro.avstreams.service import MMDeviceServant, StreamCtrl, StreamQoS
 from repro.core.adaptation import FrameFilteringQosket
-from repro.core.metrics import SeriesStats
+from repro.core.metrics import DeliveryRecorder, SeriesStats
 from repro.experiments.actors import AvVideoReceiver, AvVideoSender
 
 #: The paper's reservation levels.
@@ -84,7 +84,14 @@ def all_arms() -> list:
 
 
 class NetworkExperimentResult:
-    """Everything Table 1 and Fig 7 need for one arm."""
+    """Everything Table 1 and Fig 7 need for one arm.
+
+    The metrics live in snapshot recorders (plain time series) captured
+    from the data-plane actors when the run finishes, so results pickle
+    cleanly across the parallel runner's process boundary.  The live
+    ``sender``/``receiver`` actors remain available in-process but are
+    dropped on pickling (they reference the kernel and its callbacks).
+    """
 
     def __init__(self, arm: NetworkArm, load_start: float,
                  load_end: float, duration: float) -> None:
@@ -94,40 +101,58 @@ class NetworkExperimentResult:
         self.duration = duration
         self.sender: Optional[AvVideoSender] = None
         self.receiver: Optional[AvVideoReceiver] = None
+        self.sender_delivery: Optional[DeliveryRecorder] = None
+        self.receiver_delivery: Optional[DeliveryRecorder] = None
+        self.receiver_frames_by_type: Dict[str, int] = {}
+        #: Kernel event count for the run (throughput observability).
+        self.events_executed = 0
+
+    def capture(self, events_executed: int) -> None:
+        """Snapshot the picklable metrics out of the live actors."""
+        self.sender_delivery = self.sender.delivery
+        self.receiver_delivery = self.receiver.delivery
+        self.receiver_frames_by_type = dict(self.receiver.frames_by_type)
+        self.events_executed = events_executed
+
+    def __getstate__(self) -> Dict[str, object]:
+        state = dict(self.__dict__)
+        state["sender"] = None
+        state["receiver"] = None
+        return state
 
     # -- Table 1 columns ----------------------------------------------------
     def delivered_fraction_under_load(self) -> float:
-        return self.sender.delivery.delivery_fraction(
+        return self.sender_delivery.delivery_fraction(
             self.load_start, self.load_end
         )
 
     def latency_under_load(self) -> SeriesStats:
-        return self.receiver.delivery.latency.stats(
+        return self.receiver_delivery.latency.stats(
             self.load_start, self.load_end
         )
 
     def jitter_under_load(self) -> SeriesStats:
         """Inter-arrival jitter of delivered frames during the burst."""
-        return self.receiver.delivery.interarrival_jitter(
+        return self.receiver_delivery.interarrival_jitter(
             self.load_start, self.load_end
         )
 
     # -- Fig 7 curves ---------------------------------------------------------
     def cumulative_counts(self, bin_width: float = 5.0):
-        return self.sender.delivery.cumulative_counts(
+        return self.sender_delivery.cumulative_counts(
             bin_width, self.duration
         )
 
     def frames_by_type(self) -> Dict[str, int]:
-        return dict(self.receiver.frames_by_type)
+        return dict(self.receiver_frames_by_type)
 
     def i_frames_delivered_under_load(self) -> float:
-        """Fraction of I frames sent under load that arrived."""
-        received = self.receiver.delivery.received.times
-        # Not tracked per-type on send; approximate via receiver type
-        # counts windowed by the receive series (adequate because the
-        # sender emits I frames at a constant 2 fps).
-        del received
+        """Fraction of I frames sent under load that arrived.
+
+        Not tracked per-type on send; approximated via receiver type
+        counts windowed by the receive series (adequate because the
+        sender emits I frames at a constant 2 fps).
+        """
         sent_i = 2.0 * (self.load_end - self.load_start)
         got_i = self._typed_received_under_load("I")
         return min(1.0, got_i / sent_i) if sent_i else 1.0
@@ -251,4 +276,5 @@ def run_network_reservation_experiment(
         )
     result.sender.stop()
     result._typed_counts_under_load = typed_under_load
+    result.capture(kernel.events_executed)
     return result

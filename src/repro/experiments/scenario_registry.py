@@ -1,0 +1,173 @@
+"""Built-in scenario registrations for the parallel experiment engine.
+
+Importing this module registers every paper experiment and ablation
+with :mod:`repro.experiments.runner` under stable names.  Each wrapper
+takes only JSON-able parameters (arms travel as their constructor
+kwargs) and returns the experiment's picklable result payload, so any
+arm x seed x parameter point can be described by a
+:class:`~repro.experiments.runner.RunSpec` and executed in a worker
+process.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.experiments.runner import scenario
+from repro.experiments import ablations
+from repro.experiments.priority_exp import (
+    PriorityArm,
+    run_priority_experiment,
+)
+from repro.experiments.reservation_cpu_exp import (
+    CpuArm,
+    all_arms as cpu_all_arms,
+    run_cpu_reservation_experiment,
+)
+from repro.experiments.reservation_net_exp import (
+    NetworkArm,
+    all_arms as net_all_arms,
+    run_network_reservation_experiment,
+)
+
+
+def priority_arm_params(arm: PriorityArm) -> Dict[str, Any]:
+    """A :class:`PriorityArm` as RunSpec-ready constructor kwargs."""
+    return {
+        "name": arm.name,
+        "thread_priorities": arm.thread_priorities,
+        "dscp": arm.dscp,
+        "cpu_load": arm.cpu_load,
+        "cross_traffic": arm.cross_traffic,
+    }
+
+
+def network_arm_params(arm: NetworkArm) -> Dict[str, Any]:
+    return {
+        "name": arm.name,
+        "reservation": arm.reservation,
+        "filtering": arm.filtering,
+    }
+
+
+def cpu_arm_params(arm: CpuArm) -> Dict[str, Any]:
+    return {
+        "name": arm.name,
+        "cpu_load": arm.cpu_load,
+        "reservation": arm.reservation,
+    }
+
+
+@scenario("priority")
+def _priority(arm: Dict[str, Any], seed: int = 1, **kwargs: Any):
+    """Section 5.1 priority arms (Figs 4-6)."""
+    return run_priority_experiment(PriorityArm(**arm), seed=seed, **kwargs)
+
+
+@scenario("reservation_net")
+def _reservation_net(arm: Dict[str, Any], seed: int = 1, **kwargs: Any):
+    """Section 5.2 network-reservation arms (Fig 7, Table 1)."""
+    return run_network_reservation_experiment(
+        NetworkArm(**arm), seed=seed, **kwargs)
+
+
+@scenario("reservation_cpu")
+def _reservation_cpu(arm: Dict[str, Any], seed: int = 1, **kwargs: Any):
+    """Section 5.2 CPU-reservation arms (Table 2)."""
+    return run_cpu_reservation_experiment(CpuArm(**arm), seed=seed, **kwargs)
+
+
+@scenario("ablation_ecn")
+def _ablation_ecn(use_red: bool, seed: Optional[int] = None):
+    del seed  # the arm's RED RNG is internally fixed
+    return ablations.run_ecn_arm(use_red)
+
+
+@scenario("ablation_phb")
+def _ablation_phb(diffserv: bool, seed: Optional[int] = None):
+    del seed
+    return ablations.run_phb_arm(diffserv)
+
+
+@scenario("ablation_reserve_policy")
+def _ablation_reserve_policy(policy: str, seed: Optional[int] = None):
+    del seed
+    return ablations.run_reserve_policy_arm(policy)
+
+
+@scenario("ablation_priority_driven")
+def _ablation_priority_driven(priority_driven: bool,
+                              seed: Optional[int] = None):
+    del seed
+    return ablations.run_priority_driven_arm(priority_driven)
+
+
+# ----------------------------------------------------------------------
+# The paper's figure suite as spec lists
+# ----------------------------------------------------------------------
+def figure_specs() -> "Dict[str, list]":
+    """Every figure/table as its canonical list of RunSpecs.
+
+    These are the exact specs the benchmark suite runs (same
+    durations, same seeds), so ``repro bench`` and
+    ``pytest benchmarks/`` share cache entries.
+    """
+    from repro.experiments.runner import RunSpec
+
+    priority_duration = 30.0
+    net_timeline = {"duration": 300.0, "load_start": 60.0,
+                    "load_end": 120.0}
+
+    def priority_spec(arm: PriorityArm) -> "RunSpec":
+        return RunSpec("priority",
+                       {"arm": priority_arm_params(arm),
+                        "duration": priority_duration}, seed=1)
+
+    def net_spec(arm: NetworkArm) -> "RunSpec":
+        return RunSpec("reservation_net",
+                       {"arm": network_arm_params(arm), **net_timeline},
+                       seed=1)
+
+    return {
+        "fig4_control_runs": [
+            priority_spec(PriorityArm.figure4a()),
+            priority_spec(PriorityArm.figure4b()),
+        ],
+        "fig5_thread_priority": [
+            priority_spec(PriorityArm.figure5a()),
+            priority_spec(PriorityArm.figure5b()),
+        ],
+        "fig6_combined_priority": [
+            priority_spec(PriorityArm.figure5b()),
+            priority_spec(PriorityArm.figure6()),
+        ],
+        "fig7_frame_delivery": [
+            net_spec(NetworkArm("1-none", None, False)),
+            net_spec(NetworkArm("5-partial-filtering", "partial", True)),
+            net_spec(NetworkArm("3-full", "full", False)),
+        ],
+        "table1_network_reservation": [
+            net_spec(arm) for arm in net_all_arms()
+        ],
+        "table2_cpu_reservation": [
+            RunSpec("reservation_cpu",
+                    {"arm": cpu_arm_params(arm), "duration": 120.0}, seed=1)
+            for arm in cpu_all_arms()
+        ],
+        "ablation_ecn": [
+            RunSpec("ablation_ecn", {"use_red": False}),
+            RunSpec("ablation_ecn", {"use_red": True}),
+        ],
+        "ablation_phb": [
+            RunSpec("ablation_phb", {"diffserv": False}),
+            RunSpec("ablation_phb", {"diffserv": True}),
+        ],
+        "ablation_reserve_policy": [
+            RunSpec("ablation_reserve_policy", {"policy": "HARD"}),
+            RunSpec("ablation_reserve_policy", {"policy": "SOFT"}),
+        ],
+        "ablation_priority_driven_reservation": [
+            RunSpec("ablation_priority_driven", {"priority_driven": False}),
+            RunSpec("ablation_priority_driven", {"priority_driven": True}),
+        ],
+    }

@@ -65,12 +65,7 @@ _AF_CLASSES = {
 }
 
 
-def classify(dscp: Dscp) -> PhbClass:
-    """Map a codepoint to its per-hop behaviour class.
-
-    EF and CS5..CS7 land in the expedited class; AF classes keep their
-    relative ordering; everything else is best effort.
-    """
+def _classify(dscp: Dscp) -> PhbClass:
     if dscp == Dscp.EF or dscp in (Dscp.CS5, Dscp.CS6, Dscp.CS7):
         return PhbClass.EXPEDITED
     value = int(dscp)
@@ -79,9 +74,31 @@ def classify(dscp: Dscp) -> PhbClass:
     return PhbClass.DEFAULT
 
 
-def drop_precedence(dscp: Dscp) -> int:
-    """AF drop precedence (1..3); non-AF codepoints get the lowest (1)."""
+def _drop_precedence(dscp: Dscp) -> int:
     value = int(dscp)
     if 10 <= value <= 38 and value not in (16, 24, 32):
         return ((value >> 1) & 0x3)
     return 1
+
+
+# Classification runs once per enqueue on every hop — the hottest
+# per-packet code in the simulator — so both mappings are precomputed
+# over the (closed) codepoint set and served by dict lookup.
+_PHB_OF: dict = {dscp: _classify(dscp) for dscp in Dscp}
+_PRECEDENCE_OF: dict = {dscp: _drop_precedence(dscp) for dscp in Dscp}
+
+
+def classify(dscp: Dscp) -> PhbClass:
+    """Map a codepoint to its per-hop behaviour class.
+
+    EF and CS5..CS7 land in the expedited class; AF classes keep their
+    relative ordering; everything else is best effort.
+    """
+    phb = _PHB_OF.get(dscp)
+    return phb if phb is not None else _classify(dscp)
+
+
+def drop_precedence(dscp: Dscp) -> int:
+    """AF drop precedence (1..3); non-AF codepoints get the lowest (1)."""
+    precedence = _PRECEDENCE_OF.get(dscp)
+    return precedence if precedence is not None else _drop_precedence(dscp)

@@ -22,6 +22,9 @@ if TYPE_CHECKING:  # pragma: no cover
 class Interface:
     """A device port: egress qdisc + transmitter onto one link direction."""
 
+    __slots__ = ("kernel", "owner", "name", "qdisc", "link", "peer",
+                 "_busy", "bits_sent", "packets_received")
+
     def __init__(
         self,
         kernel: Kernel,
@@ -133,6 +136,9 @@ class Link:
     delay:
         One-way propagation delay in seconds.
     """
+
+    __slots__ = ("kernel", "bandwidth_bps", "delay", "a", "b", "up",
+                 "packets_lost")
 
     def __init__(
         self,

@@ -56,6 +56,8 @@ class Packet:
         "flow_id",
         "created_at",
         "hops",
+        "size_bytes",
+        "size_bits",
     )
 
     def __init__(
@@ -88,14 +90,11 @@ class Packet:
         self.created_at = created_at
         #: Number of store-and-forward hops traversed (observability).
         self.hops = 0
-
-    @property
-    def size_bytes(self) -> int:
-        return self.payload_bytes + HEADER_BYTES
-
-    @property
-    def size_bits(self) -> int:
-        return self.size_bytes * 8
+        # Sizes are fixed at creation (no code mutates payload_bytes);
+        # precomputed because every hop reads them several times and
+        # attribute loads beat property calls on this path.
+        self.size_bytes = self.payload_bytes + HEADER_BYTES
+        self.size_bits = self.size_bytes * 8
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

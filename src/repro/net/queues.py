@@ -160,6 +160,10 @@ class DiffServQueue(QueueDiscipline):
     #: rejected (precedence 1 only drops when the band is full).
     DROP_PRECEDENCE_THRESHOLDS = {1: 1.0, 2: 2.0 / 3.0, 3: 1.0 / 3.0}
 
+    #: AF bands, where RFC 2597 drop precedence applies.
+    _ASSURED_BANDS = frozenset((PhbClass.ASSURED4, PhbClass.ASSURED3,
+                                PhbClass.ASSURED2, PhbClass.ASSURED1))
+
     def __init__(
         self,
         band_capacity: int = 100,
@@ -171,23 +175,25 @@ class DiffServQueue(QueueDiscipline):
         self._capacities = {
             phb: (capacities or {}).get(phb, band_capacity) for phb in PhbClass
         }
+        # Dequeue scans bands most- to least-preferred on every packet;
+        # a precomputed deque list avoids re-iterating the enum class
+        # (enum iteration is surprisingly expensive on this hot path).
+        self._band_order = tuple(self._bands[phb] for phb in PhbClass)
 
     def enqueue(self, packet: Packet) -> bool:
         band = classify(packet.dscp)
         queue = self._bands[band]
-        capacity = self._capacities[band]
-        threshold = capacity
-        if PhbClass.ASSURED4 <= band <= PhbClass.ASSURED1:
+        threshold = self._capacities[band]
+        if band in self._ASSURED_BANDS:
             precedence = drop_precedence(packet.dscp)
-            threshold = capacity * self.DROP_PRECEDENCE_THRESHOLDS[precedence]
+            threshold *= self.DROP_PRECEDENCE_THRESHOLDS[precedence]
         if len(queue) >= threshold:
             return self._drop(packet)
         queue.append(packet)
         return self._accept(packet)
 
     def dequeue(self) -> Optional[Packet]:
-        for phb in PhbClass:  # ordered most- to least-preferred
-            queue = self._bands[phb]
+        for queue in self._band_order:  # most- to least-preferred
             if queue:
                 return self._record_dequeue(queue.popleft())
         return self._record_dequeue(None)

@@ -42,6 +42,10 @@ class _TrafficSource:
         self.dscp = dscp
         self.dst_port = dst_port
         self.src_port = nic.allocate_port()
+        # Constant for the source's lifetime; hoisted out of the
+        # per-packet emit path.
+        self._flow_id = f"crosstraffic:{nic.host.name}:{self.src_port}"
+        self._src_name = nic.host.name
         self.packets_sent = 0
         self.bytes_sent = 0
         self._running = False
@@ -68,7 +72,7 @@ class _TrafficSource:
         if not self._running:
             return
         packet = Packet(
-            src=self.nic.host.name,
+            src=self._src_name,
             dst=self.dst,
             src_port=self.src_port,
             dst_port=self.dst_port,
@@ -76,7 +80,7 @@ class _TrafficSource:
             payload=None,
             payload_bytes=self.packet_bytes,
             dscp=self.dscp,
-            flow_id=f"crosstraffic:{self.nic.host.name}:{self.src_port}",
+            flow_id=self._flow_id,
             created_at=self.kernel.now,
         )
         self.packets_sent += 1

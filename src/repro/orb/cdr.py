@@ -16,7 +16,15 @@ declared size is what the simulated network charges for.
 from __future__ import annotations
 
 import struct
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
+
+# Encoded-string memo: operation names, object keys and type ids are
+# drawn from a small fixed vocabulary but marshaled on every request,
+# so the UTF-8 encode + NUL append is cached.  Bounded so adversarial
+# or unbounded string sets (e.g. per-frame payload text) cannot grow
+# the cache without limit.
+_STRING_MEMO: Dict[str, bytes] = {}
+_STRING_MEMO_MAX = 4096
 
 
 class CdrError(ValueError):
@@ -117,7 +125,11 @@ class CdrOutputStream:
         self._append(struct.pack(">d", value))
 
     def write_string(self, value: str) -> None:
-        encoded = value.encode("utf-8") + b"\x00"
+        encoded = _STRING_MEMO.get(value)
+        if encoded is None:
+            encoded = value.encode("utf-8") + b"\x00"
+            if len(_STRING_MEMO) < _STRING_MEMO_MAX:
+                _STRING_MEMO[value] = encoded
         self.write_ulong(len(encoded))
         self._append(encoded)
 

@@ -11,6 +11,7 @@ native thread priorities and DSCPs (Fig 2).
 from __future__ import annotations
 
 import enum
+from functools import lru_cache
 from typing import Any, List, Optional, Tuple
 
 from repro.orb.cdr import (
@@ -39,6 +40,31 @@ class ReplyStatus(enum.IntEnum):
     LOCATION_FORWARD = 3
 
 
+@lru_cache(maxsize=1024)
+def _rt_priority_bytes(priority: int) -> bytes:
+    """CDR encoding of one RTCorbaPriority value.
+
+    Every prioritized request carries this context; the priority
+    vocabulary per run is tiny, so the two-byte encoding is memoized.
+    """
+    out = CdrOutputStream()
+    out.write_short(priority)
+    return out.getvalue()
+
+
+@lru_cache(maxsize=8)
+def _header_prelude(msg_type: int) -> bytes:
+    """The constant first 8 GIOP header bytes for one message type."""
+    out = CdrOutputStream()
+    for byte in MAGIC:
+        out.write_octet(byte)
+    out.write_octet(VERSION[0])
+    out.write_octet(VERSION[1])
+    out.write_octet(0)  # flags: big-endian
+    out.write_octet(msg_type)
+    return out.getvalue()
+
+
 class ServiceContext:
     """One (id, data) service context entry."""
 
@@ -51,9 +77,8 @@ class ServiceContext:
     @classmethod
     def rt_priority(cls, priority: int) -> "ServiceContext":
         """Build the RTCorbaPriority context for a CORBA priority."""
-        out = CdrOutputStream()
-        out.write_short(priority)
-        return cls(SERVICE_ID_RT_CORBA_PRIORITY, out.getvalue())
+        return cls(SERVICE_ID_RT_CORBA_PRIORITY,
+                   _rt_priority_bytes(priority))
 
     def read_rt_priority(self) -> int:
         if self.context_id != SERVICE_ID_RT_CORBA_PRIORITY:
@@ -113,13 +138,9 @@ class GiopMessage:
     def encode(self) -> Tuple[bytes, List[OpaquePayload]]:
         """Serialize to (bytes, opaque sidecar)."""
         out = CdrOutputStream()
-        # GIOP header
-        for byte in MAGIC:
-            out.write_octet(byte)
-        out.write_octet(VERSION[0])
-        out.write_octet(VERSION[1])
-        out.write_octet(0)  # flags: big-endian
-        out.write_octet(int(self.msg_type))
+        # GIOP header: the first 8 bytes are constant per message type
+        # (memoized — requests marshal one per video frame).
+        out._append(_header_prelude(int(self.msg_type)))
         out.write_ulong(0)  # body length placeholder (unused: framed transport)
         # Message header
         out.write_ulong(self.request_id)

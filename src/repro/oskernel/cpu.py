@@ -81,6 +81,11 @@ class CPU:
         ``w / speed`` seconds of simulated time when running alone.
     """
 
+    __slots__ = ("kernel", "name", "speed", "_threads", "_queues",
+                 "_current", "_run_start", "_completion_event",
+                 "_ready_seq", "_ready_order", "busy_time",
+                 "context_switches", "_last_dispatched")
+
     def __init__(
         self,
         kernel: Kernel,

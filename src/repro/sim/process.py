@@ -70,6 +70,8 @@ class Signal:
     event so that ordering stays deterministic.
     """
 
+    __slots__ = ("_kernel", "name", "_waiters", "fire_count")
+
     def __init__(self, kernel: Kernel, name: str = "") -> None:
         self._kernel = kernel
         self.name = name

@@ -1,0 +1,180 @@
+"""The parallel experiment engine: parity, ordering, and the cache.
+
+The load-bearing guarantee is *bit-identical* results at any worker
+count: the figures a contributor regenerates with ``--jobs 4`` must be
+byte-for-byte the figures CI regenerates serially.  Parity is asserted
+on the pickled payload bytes — stronger than comparing extracted
+metrics, since it covers every recorder, series and counter in the
+result objects.
+"""
+
+import pickle
+
+import pytest
+
+from repro.experiments.runner import (
+    ExperimentRunner,
+    ResultCache,
+    RunSpec,
+    registered_scenarios,
+    source_tree_digest,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+def _runner(tmp_path, **kwargs):
+    kwargs.setdefault("cache_dir", tmp_path / "cache")
+    kwargs.setdefault("source_digest", "test-digest")
+    return ExperimentRunner(**kwargs)
+
+
+def _mixed_specs(seed):
+    """A cross-section of scenarios, sized for test-suite budgets."""
+    return [
+        RunSpec("priority",
+                {"arm": {"name": "fig4a", "thread_priorities": False,
+                         "dscp": False, "cpu_load": False,
+                         "cross_traffic": False},
+                 "duration": 3.0}, seed=seed),
+        RunSpec("reservation_cpu",
+                {"arm": {"name": "no-load", "cpu_load": False,
+                         "reservation": False},
+                 "duration": 5.0}, seed=seed),
+        RunSpec("ablation_reserve_policy", {"policy": "HARD"}),
+        RunSpec("ablation_reserve_policy", {"policy": "SOFT"}),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Parity: jobs=1 vs jobs=4
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_parallel_bit_identical_to_serial(tmp_path, seed):
+    specs = _mixed_specs(seed)
+    serial = _runner(tmp_path / "s", cache=False, jobs=1).run(specs)
+    parallel = _runner(tmp_path / "p", cache=False, jobs=4).run(specs)
+    assert len(serial) == len(parallel) == len(specs)
+    for spec, a, b in zip(specs, serial, parallel):
+        assert a.spec is spec and b.spec is spec
+        assert not a.cached and not b.cached
+        assert a.events == b.events
+        assert pickle.dumps(a.payload) == pickle.dumps(b.payload)
+
+
+def test_results_come_back_in_spec_order(tmp_path):
+    # Mix cache hits and misses: order must still follow the specs.
+    runner = _runner(tmp_path, jobs=4)
+    specs = _mixed_specs(seed=1)
+    runner.run([specs[2]])  # pre-warm one arm
+    results = runner.run(specs)
+    assert [r.spec for r in results] == specs
+    assert [r.cached for r in results] == [False, False, True, False]
+
+
+def test_unknown_scenario_is_an_error(tmp_path):
+    with pytest.raises(KeyError, match="unknown scenario"):
+        _runner(tmp_path).run([RunSpec("no-such-scenario", {})])
+
+
+def test_builtin_scenarios_registered():
+    names = registered_scenarios()
+    for expected in ("priority", "reservation_net", "reservation_cpu",
+                     "ablation_ecn", "ablation_phb",
+                     "ablation_reserve_policy", "ablation_priority_driven"):
+        assert expected in names
+
+
+# ----------------------------------------------------------------------
+# The result cache
+# ----------------------------------------------------------------------
+SPEC = RunSpec("ablation_reserve_policy", {"policy": "HARD"})
+
+
+def test_cache_hit_on_rerun(tmp_path):
+    first = _runner(tmp_path).run_one(SPEC)
+    assert not first.cached
+
+    rerun = _runner(tmp_path).run_one(SPEC)
+    assert rerun.cached
+    assert rerun.wall_seconds == 0.0
+    assert pickle.dumps(rerun.payload) == pickle.dumps(first.payload)
+
+
+def test_cached_payload_survives_figures(tmp_path):
+    """Cached results carry everything the figure renderers consume."""
+    spec = RunSpec("priority",
+                   {"arm": {"name": "fig4a", "thread_priorities": False,
+                            "dscp": False, "cpu_load": False,
+                            "cross_traffic": False},
+                    "duration": 3.0}, seed=1)
+    live = _runner(tmp_path).run_one(spec).payload
+    cached = _runner(tmp_path).run_one(spec).payload
+    for sender in ("sender1", "sender2"):
+        assert cached.stats(sender).mean == live.stats(sender).mean
+        assert cached.series(sender, 1.0) == live.series(sender, 1.0)
+
+
+@pytest.mark.parametrize("change", ["param", "seed", "source"])
+def test_cache_invalidation(tmp_path, change):
+    base = RunSpec("ablation_reserve_policy", {"policy": "HARD"}, seed=1)
+    _runner(tmp_path).run_one(base)
+
+    if change == "param":
+        probe, digest = RunSpec(base.scenario, {"policy": "SOFT"},
+                                seed=1), "test-digest"
+    elif change == "seed":
+        probe, digest = RunSpec(base.scenario, base.params, seed=2), \
+            "test-digest"
+    else:
+        probe, digest = base, "a-different-source-tree"
+    result = _runner(tmp_path, source_digest=digest).run_one(probe)
+    assert not result.cached
+
+
+def test_corrupt_cache_entry_falls_back_to_recompute(tmp_path):
+    runner = _runner(tmp_path)
+    first = runner.run_one(SPEC)
+    key = ResultCache.key_for(SPEC, "test-digest")
+    entry = runner.cache._path(key)
+    assert entry.exists()
+    entry.write_bytes(b"not a pickle")
+
+    again = _runner(tmp_path)
+    result = again.run_one(SPEC)
+    assert not result.cached  # corrupt entry treated as a miss
+    assert pickle.dumps(result.payload) == pickle.dumps(first.payload)
+    # ...and the recomputed run repaired the entry.
+    assert _runner(tmp_path).run_one(SPEC).cached
+
+
+def test_truncated_cache_entry_is_a_miss(tmp_path):
+    runner = _runner(tmp_path)
+    runner.run_one(SPEC)
+    entry = runner.cache._path(ResultCache.key_for(SPEC, "test-digest"))
+    entry.write_bytes(entry.read_bytes()[:10])  # torn write
+    assert not _runner(tmp_path).run_one(SPEC).cached
+
+
+def test_cache_disabled_never_touches_disk(tmp_path):
+    runner = _runner(tmp_path, cache=False)
+    runner.run_one(SPEC)
+    runner.run_one(SPEC)
+    assert not (tmp_path / "cache").exists()
+
+
+def test_cache_respects_env_toggle(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    runner = _runner(tmp_path)
+    assert not runner.cache_enabled
+    monkeypatch.setenv("REPRO_CACHE", "1")
+    assert _runner(tmp_path).cache_enabled
+
+
+def test_source_digest_changes_with_source(tmp_path, monkeypatch):
+    # The real digest is stable within a process...
+    assert source_tree_digest() == source_tree_digest()
+    # ...and is part of the cache key.
+    a = ResultCache.key_for(SPEC, "digest-a")
+    b = ResultCache.key_for(SPEC, "digest-b")
+    assert a != b
