@@ -16,6 +16,7 @@ Examples::
     python -m repro table1 --duration 120 --load-start 30 --load-end 90
     python -m repro table2 --duration 60
     python -m repro fig7 --arm 5-partial-filtering
+    python -m repro faults --duration 60
     python -m repro --jobs 4 bench
 """
 
@@ -43,6 +44,7 @@ from repro.experiments.reporting import (
 from repro.experiments.runner import ExperimentRunner, RunSpec
 from repro.experiments.scenario_registry import (
     cpu_arm_params,
+    fault_arm_params,
     figure_specs,
     network_arm_params,
     priority_arm_params,
@@ -141,6 +143,51 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
         rows = result.cumulative_counts(bin_width=args.duration / 30)
         print()
         print(ascii_cumulative(f"Fig 7 — {arm.name}", rows))
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    """Fig 8: frame delivery under injected faults, both chaos arms."""
+    from repro.experiments.fault_exp import FaultArm
+
+    arms = [FaultArm("static", False), FaultArm("adaptive", True)]
+    if args.arm is not None:
+        matches = [arm for arm in arms if arm.name == args.arm]
+        if not matches:
+            names = ", ".join(arm.name for arm in arms)
+            raise SystemExit(
+                f"unknown arm {args.arm!r}; choose from: {names}")
+        arms = matches
+    print(f"running {', '.join(arm.name for arm in arms)} "
+          f"({args.duration:.0f}s simulated) ...", file=sys.stderr)
+    payloads = _runner(args).payloads([
+        RunSpec("faults",
+                {"arm": fault_arm_params(arm), "duration": args.duration},
+                seed=args.seed)
+        for arm in arms
+    ])
+    for arm, result in zip(arms, payloads):
+        print()
+        print(f"== {arm.name} "
+              f"(adaptation {'on' if arm.adaptive else 'off'}) ==")
+        header = (f"{'fault':<28} {'start':>7} {'end':>7} "
+                  f"{'sent':>6} {'delivered':>9}")
+        print(header)
+        print("-" * len(header))
+        for label, start, end, sent, got in result.per_window_counts():
+            print(f"{label:<28} {start:>7.1f} {end:>7.1f} "
+                  f"{sent:>6} {got:>9}")
+        in_sent = result.sent_in_fault_windows()
+        in_got = result.delivered_in_fault_windows()
+        print(f"{'all fault windows':<28} {'':>7} {'':>7} "
+              f"{in_sent:>6} {in_got:>9}")
+        print(f"post-fault recovery rate: "
+              f"{result.recovery_rate_fps(5.0):.1f} fps "
+              f"(faults reported: {result.faults_reported})")
+        if args.chart:
+            rows = result.cumulative_counts(bin_width=args.duration / 30)
+            print()
+            print(ascii_cumulative(f"Fig 8 — {arm.name}", rows))
     return 0
 
 
@@ -335,6 +382,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     add("table2", _cmd_table2, "CPU reservation experiment", 120.0)
 
+    p = add("faults", _cmd_faults,
+            "fault-injection experiment (fig 8 chaos arms)", 120.0)
+    p.add_argument("--arm", default=None,
+                   help="run a single arm (static or adaptive)")
+    p.add_argument("--chart", action="store_true",
+                   help="also draw ASCII cumulative-delivery charts")
+
     p = sub.add_parser(
         "bench",
         help="regenerate the full figure suite through the parallel "
@@ -365,7 +419,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default 65536)")
     p.add_argument("--layers", default=None,
                    help="comma-separated layer allow-list "
-                        "(sim,os,net,orb,av,quo); default: all")
+                        "(sim,os,net,orb,av,quo,fault); default: all")
     p.add_argument("--quiet", action="store_true",
                    help="suppress the scenario's own narrative output")
     p.set_defaults(func=_cmd_trace)

@@ -121,6 +121,8 @@ class FrameFilteringQosket(Qosket):
         super().__init__(kernel, contract, conditions=[self.loss])
         self._heartbeat = None
         self._heartbeat_interval = float(update_interval)
+        #: Optional FaultReporterSC; see :meth:`attach_fault_reporter`.
+        self.fault_reporter = None
 
     # ------------------------------------------------------------------
     # Lifecycle: upgrades are time-driven (patience elapsing), not only
@@ -174,7 +176,12 @@ class FrameFilteringQosket(Qosket):
         now = self._kernel.now
         self.frame_filter.set_level(level)
         self._last_upgrade = now
-        self._clean_since = None
+        # Restart the cleanliness clock at *now*, not at None: the
+        # loss condition only notifies observers on a value change, so
+        # if loss sits identically at zero after the probe, a None
+        # here would never be set again and staged recovery would
+        # stall one level below full forever.
+        self._clean_since = now
         # If this probe survives a full patience interval without a
         # downgrade, congestion has genuinely cleared: restore normal
         # patience.
@@ -222,6 +229,41 @@ class FrameFilteringQosket(Qosket):
             # Reached only when severe released us: step up one level.
             return True
         return loss > self.degrade_threshold
+
+    # ------------------------------------------------------------------
+    # Fault-reporter integration
+    # ------------------------------------------------------------------
+    def attach_fault_reporter(self, reporter) -> None:
+        """Shed load the moment a fault is reported.
+
+        ``reporter`` is a
+        :class:`~repro.quo.syscond.FaultReporterSC`.  Loss statistics
+        need a window's worth of samples before a downgrade triggers;
+        a reported outage is authoritative, so the qosket drops
+        straight to the 2 fps floor and lets the ordinary staged
+        recovery bring the rate back once the report clears *and* the
+        network measures clean.
+        """
+        self.fault_reporter = reporter
+        reporter.observe(self._on_fault_report)
+
+    def _on_fault_report(self, condition) -> None:
+        if condition.value:
+            # Direct set, bypassing _downgrade: a fault-driven shed is
+            # not a failed probe and must not inflate the probe
+            # backoff.
+            self.frame_filter.set_level(FilterLevel.LOW)
+            self._last_downgrade = self._kernel.now
+            self._clean_since = None
+        else:
+            # All faults cleared: restart clean-time tracking and drop
+            # any probe backoff accumulated *during* the outage — it
+            # measured the faulted network, not the restored one — so
+            # the staged upgrade ladder runs at base patience.
+            self._clean_since = None
+            self._patience = self.base_patience
+            self._last_upgrade = None
+        self.contract.evaluate()
 
     # ------------------------------------------------------------------
     # Pipeline hooks

@@ -24,6 +24,10 @@ from repro.experiments.reservation_cpu_exp import (
     all_arms as cpu_all_arms,
     run_cpu_reservation_experiment,
 )
+from repro.experiments.fault_exp import (
+    FaultArm,
+    run_fault_injection_experiment,
+)
 from repro.experiments.reservation_net_exp import (
     NetworkArm,
     all_arms as net_all_arms,
@@ -75,6 +79,17 @@ def _reservation_net(arm: Dict[str, Any], seed: int = 1, **kwargs: Any):
 def _reservation_cpu(arm: Dict[str, Any], seed: int = 1, **kwargs: Any):
     """Section 5.2 CPU-reservation arms (Table 2)."""
     return run_cpu_reservation_experiment(CpuArm(**arm), seed=seed, **kwargs)
+
+
+def fault_arm_params(arm: FaultArm) -> Dict[str, Any]:
+    return {"name": arm.name, "adaptive": arm.adaptive}
+
+
+@scenario("faults")
+def _faults(arm: Dict[str, Any], seed: int = 1, **kwargs: Any):
+    """Fig 8 chaos arms: frame delivery under injected faults."""
+    return run_fault_injection_experiment(FaultArm(**arm), seed=seed,
+                                          **kwargs)
 
 
 @scenario("ablation_ecn")
@@ -145,6 +160,14 @@ def figure_specs() -> "Dict[str, list]":
             net_spec(NetworkArm("1-none", None, False)),
             net_spec(NetworkArm("5-partial-filtering", "partial", True)),
             net_spec(NetworkArm("3-full", "full", False)),
+        ],
+        "fig8_fault_adaptation": [
+            RunSpec("faults",
+                    {"arm": fault_arm_params(FaultArm("static", False)),
+                     "duration": 120.0}, seed=1),
+            RunSpec("faults",
+                    {"arm": fault_arm_params(FaultArm("adaptive", True)),
+                     "duration": 120.0}, seed=1),
         ],
         "table1_network_reservation": [
             net_spec(arm) for arm in net_all_arms()

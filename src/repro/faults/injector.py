@@ -1,0 +1,241 @@
+"""Compiling a :class:`~repro.faults.plan.FaultPlan` onto a simulation.
+
+The :class:`FaultInjector` resolves each event's symbolic targets
+(device names, flow ids, registered reserve names) against a live
+:class:`~repro.net.topology.Network`, schedules the begin/end edges on
+the kernel, and emits every lifecycle transition on the ``fault``
+trace layer.  An optional
+:class:`~repro.quo.syscond.FaultReporterSC` is notified at every edge
+so QuO contracts can react to outages the instant they start instead
+of waiting for loss statistics to accumulate.
+
+Determinism: the injector takes no wall-clock input and draws burst
+loss from a caller-supplied named RNG stream, so a (plan, seed) pair
+replays bit-identically at any worker count.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.sim.kernel import Kernel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.link import Link
+    from repro.net.topology import Network
+    from repro.oskernel.reserve import Reserve
+    from repro.quo.syscond import FaultReporterSC
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Schedules a fault plan's events onto a kernel.
+
+    Parameters
+    ----------
+    kernel:
+        The simulation kernel faults are scheduled on.
+    network:
+        Topology used to resolve ``link``/``node``/``flow`` targets.
+        May be None for plans that only revoke CPU reserves.
+    reporter:
+        Optional :class:`FaultReporterSC`; told when each fault starts
+        and clears.
+    rng:
+        Random stream for ``loss_burst`` draws (usually
+        ``RngRegistry(seed).stream("faults")``).  Required only if the
+        plan contains a loss burst.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        network: Optional["Network"] = None,
+        reporter: Optional["FaultReporterSC"] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.network = network
+        self.reporter = reporter
+        self.rng = rng
+        self._reserves: Dict[str, Tuple[Callable[[], "Reserve"],
+                                        Optional["Reserve"]]] = {}
+        #: (label, start, end) for every injected fault (observability;
+        #: point events have end == start).
+        self.injected: List[Tuple[str, float, float]] = []
+
+    # ------------------------------------------------------------------
+    # Target registration
+    # ------------------------------------------------------------------
+    def register_reserve(
+        self, name: str, admit: Callable[[], "Reserve"]
+    ) -> "Reserve":
+        """Register a revocable CPU reserve under ``name``.
+
+        ``admit`` performs the admission (returning the live
+        :class:`Reserve`); it is called once now and again on
+        re-admission after a timed revocation.
+        """
+        reserve = admit()
+        self._reserves[name] = (admit, reserve)
+        return reserve
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def install(self, plan: FaultPlan) -> None:
+        """Schedule every event in ``plan`` (relative to *now*)."""
+        for index, event in enumerate(plan):
+            begin, end = self._edges_for(event)
+            span = f"fault:{index}:{event.label()}"
+            self.kernel.schedule(event.at, self._begin, event, span, begin)
+            if event.until is not None:
+                self.kernel.schedule(event.until, self._end, event, span,
+                                     end)
+            self.injected.append((
+                event.label(), event.at,
+                event.until if event.until is not None else event.at))
+
+    # ------------------------------------------------------------------
+    def _begin(self, event: FaultEvent, span: str,
+               action: Callable[[], None]) -> None:
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            if event.until is not None:
+                tracer.begin("fault", event.kind, span=span,
+                             **self._trace_fields(event))
+            else:
+                tracer.instant("fault", event.kind,
+                               **self._trace_fields(event))
+        action()
+        if self.reporter is not None and event.until is not None:
+            self.reporter.fault_started(event.label())
+
+    def _end(self, event: FaultEvent, span: str,
+             action: Callable[[], None]) -> None:
+        action()
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.end("fault", event.kind, span=span,
+                       **self._trace_fields(event))
+        if self.reporter is not None:
+            self.reporter.fault_cleared(event.label())
+
+    @staticmethod
+    def _trace_fields(event: FaultEvent) -> Dict[str, object]:
+        fields = dict(event.fields)
+        if "link" in fields:
+            fields["link"] = "-".join(fields["link"])
+        return {k: v for k, v in fields.items() if v is not None}
+
+    # ------------------------------------------------------------------
+    # Per-kind begin/end actions
+    # ------------------------------------------------------------------
+    def _edges_for(
+        self, event: FaultEvent
+    ) -> Tuple[Callable[[], None], Callable[[], None]]:
+        return getattr(self, f"_compile_{event.kind}")(event)
+
+    def _link_for(self, event: FaultEvent) -> "Link":
+        if self.network is None:
+            raise ValueError(
+                f"{event.label()}: a network is required to resolve links")
+        return self.network.link_between(*event.fields["link"])
+
+    def _compile_link_flap(self, event):
+        link = self._link_for(event)
+        return link.fail, link.restore
+
+    def _compile_loss_burst(self, event):
+        link = self._link_for(event)
+        if self.rng is None:
+            raise ValueError(
+                f"{event.label()}: loss bursts need an rng stream")
+        loss = float(event.fields["loss"])
+
+        def begin() -> None:
+            link.loss_probability = loss
+            link.loss_rng = self.rng
+
+        def end() -> None:
+            link.loss_probability = 0.0
+            link.loss_rng = None
+
+        return begin, end
+
+    def _compile_link_degrade(self, event):
+        link = self._link_for(event)
+        factor = float(event.fields["factor"])
+        nominal = link.bandwidth_bps
+
+        def begin() -> None:
+            link.bandwidth_bps = nominal * factor
+
+        def end() -> None:
+            link.bandwidth_bps = nominal
+
+        return begin, end
+
+    def _compile_node_crash(self, event):
+        if self.network is None:
+            raise ValueError(
+                f"{event.label()}: a network is required to resolve nodes")
+        device = self.network.device(event.fields["node"])
+        interfaces = device.interfaces
+        if isinstance(interfaces, dict):
+            interfaces = list(interfaces.values())
+        links = [iface.link for iface in interfaces if iface.link is not None]
+        lose_state = bool(event.fields["lose_state"])
+
+        def begin() -> None:
+            for link in links:
+                link.fail()
+            agent = getattr(device, "rsvp_agent", None)
+            if lose_state and agent is not None:
+                agent.drop_all_state()
+
+        def end() -> None:
+            for link in links:
+                link.restore()
+
+        return begin, end
+
+    def _compile_resv_loss(self, event):
+        if self.network is None:
+            raise ValueError(
+                f"{event.label()}: a network is required to resolve flows")
+        flow_id = str(event.fields["flow"])
+        routers = self.network.routers
+
+        def begin() -> None:
+            for router in routers:
+                agent = router.rsvp_agent
+                if agent is not None:
+                    agent.drop_reservation_state(flow_id)
+
+        return begin, lambda: None
+
+    def _compile_reserve_revoke(self, event):
+        name = str(event.fields["reserve"])
+
+        def begin() -> None:
+            try:
+                _, reserve = self._reserves[name]
+            except KeyError:
+                raise KeyError(
+                    f"reserve {name!r} was never registered with the "
+                    f"injector") from None
+            if reserve is not None:
+                reserve.cancel()
+                admit, _ = self._reserves[name]
+                self._reserves[name] = (admit, None)
+
+        def end() -> None:
+            admit, reserve = self._reserves[name]
+            if reserve is None:
+                self._reserves[name] = (admit, admit())
+
+        return begin, end

@@ -100,6 +100,21 @@ class Interface:
                 )
             self._kick()
             return
+        if self.link.loss_probability > 0.0 and self.link.loss_rng is not None \
+                and self.link.loss_rng.random() < self.link.loss_probability:
+            # Injected correlated loss (e.g. a fault-plan loss burst):
+            # the frame made it onto the wire but not across it.
+            self.link.packets_lost += 1
+            tracer = self.kernel.tracer
+            if tracer is not None:
+                tracer.instant(
+                    "net", "hop.loss",
+                    flow=packet.flow_id, packet=packet.packet_id,
+                    iface=f"{self.owner.name}.{self.name}",
+                    reason="burst",
+                )
+            self._kick()
+            return
         self.bits_sent += packet.size_bits
         self.kernel.schedule(self.link.delay, self.peer._deliver, packet)
         self._kick()
@@ -138,7 +153,7 @@ class Link:
     """
 
     __slots__ = ("kernel", "bandwidth_bps", "delay", "a", "b", "up",
-                 "packets_lost")
+                 "packets_lost", "loss_probability", "loss_rng")
 
     def __init__(
         self,
@@ -161,6 +176,11 @@ class Link:
         self.up = True
         #: Packets lost on the wire while the link was down.
         self.packets_lost = 0
+        #: Injected per-packet loss (fault layer); active only while a
+        #: loss-burst fault holds the link.  Draws come from a named
+        #: RNG stream so runs stay deterministic.
+        self.loss_probability = 0.0
+        self.loss_rng = None
         a.link = self
         b.link = self
         a.peer = b

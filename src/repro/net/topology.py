@@ -147,19 +147,30 @@ class Network:
                 return interface
         raise KeyError(f"no link {device_name} -> {neighbor}")
 
-    def enable_intserv(self, utilization_bound: float = 0.9) -> None:
+    def enable_intserv(
+        self,
+        utilization_bound: float = 0.9,
+        refresh_interval: Optional[float] = None,
+    ) -> None:
         """Attach RSVP agents to every router and host NIC.
 
         Reservations only actually take hold on interfaces whose qdisc
         is a :class:`~repro.net.queues.GuaranteedRateQueue`; signaling
         still traverses everything else.
+
+        ``refresh_interval`` opts in to RSVP soft-state: endpoints
+        periodically re-send PATH/RESV and transit routers expire state
+        that stops being refreshed.  The refresh timers keep the event
+        heap non-empty, so simulations using it must run with an
+        explicit ``until=``.
         """
         from repro.net.intserv import RsvpAgent  # local import: cycle
 
         for device in self._devices.values():
             if getattr(device, "rsvp_agent", None) is None:
                 RsvpAgent(self.kernel, device,
-                          utilization_bound=utilization_bound)
+                          utilization_bound=utilization_bound,
+                          refresh_interval=refresh_interval)
 
     # ------------------------------------------------------------------
     # Lookup
@@ -191,6 +202,16 @@ class Network:
     @property
     def links(self) -> List[Link]:
         return list(self._links)
+
+    def link_between(self, a: Endpoint, b: Endpoint) -> Link:
+        """The link directly joining two endpoints (KeyError if none)."""
+        name_a = self._resolve(a).name
+        name_b = self._resolve(b).name
+        wanted = {name_a, name_b}
+        for link in self._links:
+            if {link.a.owner.name, link.b.owner.name} == wanted:
+                return link
+        raise KeyError(f"no link between {name_a!r} and {name_b!r}")
 
     def path(self, src: str, dst: str) -> List[str]:
         """Device names along the shortest path src -> dst (inclusive).

@@ -212,6 +212,10 @@ class StreamConnection:
         self.segments_sent = 0
         self.retransmissions = 0
         self.closed = False
+        #: Invoked exactly once when the connection closes (give-up or
+        #: explicit close); lets owners fail work parked on the
+        #: connection instead of leaving it waiting forever.
+        self.on_close: Optional[Callable[["StreamConnection"], None]] = None
 
     # ------------------------------------------------------------------
     # Establishment
@@ -317,6 +321,10 @@ class StreamConnection:
             return
         self._ssthresh = max(2.0, self._cwnd / 2)
         self._cwnd = float(self.INITIAL_CWND)
+        # A timeout restarts loss recovery from scratch: any dup-ack
+        # count accumulated before it is stale and must not be allowed
+        # to trigger a spurious fast retransmit afterwards.
+        self._dup_acks = 0
         base_segment = self._in_flight.get(self._base)
         if base_segment is not None:
             self.retransmissions += 1
@@ -380,6 +388,12 @@ class StreamConnection:
                     self.MAX_RTO,
                     max(self.MIN_RTO, self._srtt + 4 * self._rttvar),
                 )
+            else:
+                # No RTT sample ever completed (every ack so far was
+                # ambiguous under Karn) — without this the connection
+                # would keep the fully backed-off RTO (up to MAX_RTO)
+                # for the rest of its life.
+                self._rto = self.INITIAL_RTO
             self._base = ack_seq
             self._dup_acks = 0
             self._consecutive_rtos = 0
@@ -407,6 +421,10 @@ class StreamConnection:
                 self._trace_retransmit(hole, "newreno-hole")
                 self._transmit(hole)
         elif ack_seq == self._base and self._in_flight:
+            # Even a duplicate ack proves the peer (and the return
+            # path) is alive — it must reset the give-up counter just
+            # like an advancing one.
+            self._consecutive_rtos = 0
             self._dup_acks += 1
             if self._dup_acks >= self.DUP_ACK_THRESHOLD:
                 self._dup_acks = 0
@@ -505,6 +523,9 @@ class StreamConnection:
         self.closed = True
         self._cancel_rto()
         self.nic.unbind(Protocol.TCP, self.local_port)
+        if self.on_close is not None:
+            callback, self.on_close = self.on_close, None
+            callback(self)
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

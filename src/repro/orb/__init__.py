@@ -35,10 +35,15 @@ Subpackages
 
 ``core``
     The ORB itself: acceptors, connection cache, request lifecycle.
+
+``retry``
+    Client-side retry policy: bounded attempts, exponential backoff,
+    an overall deadline budget.
 """
 
 from repro.orb.cdr import CdrError, CdrInputStream, CdrOutputStream, OpaquePayload
-from repro.orb.core import Orb, OrbError, RequestTimeout
+from repro.orb.core import ConnectionClosed, Orb, OrbError, RequestTimeout
+from repro.orb.retry import RetryPolicy
 from repro.orb.giop import (
     GiopMessage,
     ReplyStatus,
@@ -62,6 +67,7 @@ __all__ = [
     "CdrError",
     "CdrInputStream",
     "CdrOutputStream",
+    "ConnectionClosed",
     "DscpMapping",
     "GiopMessage",
     "IdlError",
@@ -77,6 +83,7 @@ __all__ = [
     "PriorityModel",
     "ReplyStatus",
     "RequestTimeout",
+    "RetryPolicy",
     "SERVICE_ID_RT_CORBA_PRIORITY",
     "Servant",
     "ServiceContext",

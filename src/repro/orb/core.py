@@ -49,6 +49,10 @@ class RequestTimeout(OrbError):
     """The relative round-trip timeout expired before the reply."""
 
 
+class ConnectionClosed(OrbError):
+    """The transport under a pending request died (COMM_FAILURE)."""
+
+
 def raise_if_error(value: Any) -> Any:
     """Raise ``value`` if the reply signal delivered an exception."""
     if isinstance(value, BaseException):
@@ -57,12 +61,17 @@ def raise_if_error(value: Any) -> Any:
 
 
 class _PendingRequest:
-    __slots__ = ("signal", "timeout_event", "sent_at")
+    __slots__ = ("signal", "timeout_event", "sent_at", "connection")
 
     def __init__(self, signal: Signal, sent_at: float) -> None:
         self.signal = signal
         self.timeout_event: Optional[ScheduledEvent] = None
         self.sent_at = sent_at
+        # The transport the request went out on; None until transmit
+        # (marshaling may still be in progress).  Lets the ORB fail
+        # the request if that connection dies — without it, a request
+        # with no timeout would wait forever on a closed connection.
+        self.connection: Optional[StreamConnection] = None
 
 
 class Orb:
@@ -126,6 +135,10 @@ class Orb:
         self.requests_sent = 0
         self.replies_received = 0
         self.requests_dispatched = 0
+        #: Pending requests failed because their transport died.
+        self.connection_failures = 0
+        #: Invocation attempts re-issued by a RetryPolicy.
+        self.requests_retried = 0
 
     # ------------------------------------------------------------------
     # POA management
@@ -174,9 +187,22 @@ class Orb:
         dscp: Optional[Dscp] = None,
         response_expected: bool = True,
         timeout: Optional[float] = None,
+        retry: Optional["RetryPolicy"] = None,
     ) -> Signal:
         """Send a request; returns a signal fired with the reply message
-        (or an exception object for timeouts/system errors)."""
+        (or an exception object for timeouts/system errors).
+
+        With a :class:`~repro.orb.retry.RetryPolicy`, transient
+        transport failures (timeouts, dead connections) are retried
+        with exponential backoff inside the policy's overall deadline
+        budget; the returned signal fires once, with the first
+        success or the final error.
+        """
+        if retry is not None and response_expected:
+            return self._invoke_with_retry(
+                objref, operation, body, opaques, thread, priority,
+                dscp, timeout, retry,
+            )
         request_id = next(_request_ids)
         # Honor the target's priority model (embedded in its IOR).
         send_priority = priority
@@ -231,6 +257,8 @@ class Orb:
             connection = self._connection_to(
                 objref.host, objref.port, effective_dscp, band
             )
+            if pending is not None:
+                pending.connection = connection
             connection.send_message((encoded, sidecar), wire_bytes)
             self.requests_sent += 1
             if not response_expected:
@@ -243,6 +271,68 @@ class Orb:
             work.done.wait(lambda _request: transmit())
         else:
             transmit()
+        return done
+
+    def _invoke_with_retry(
+        self,
+        objref: ObjectReference,
+        operation: str,
+        body: bytes,
+        opaques: Optional[list],
+        thread: Optional[SimThread],
+        priority: Optional[int],
+        dscp: Optional[Dscp],
+        timeout: Optional[float],
+        retry: "RetryPolicy",
+    ) -> Signal:
+        done = Signal(self.kernel, name=f"retry-{operation}")
+        deadline = (None if retry.deadline is None
+                    else self.kernel.now + retry.deadline)
+        per_try = timeout if timeout is not None else retry.per_try_timeout
+        attempts = [0]
+
+        def launch() -> None:
+            attempts[0] += 1
+            try_timeout = per_try
+            if deadline is not None:
+                remaining = deadline - self.kernel.now
+                if remaining <= 0:
+                    done.fire(RequestTimeout(
+                        f"{operation}: retry deadline exhausted after "
+                        f"{attempts[0] - 1} attempts"))
+                    return
+                try_timeout = (remaining if try_timeout is None
+                               else min(try_timeout, remaining))
+            inner = self.invoke(
+                objref, operation, body, opaques=opaques, thread=thread,
+                priority=priority, dscp=dscp, response_expected=True,
+                timeout=try_timeout,
+            )
+            inner.wait(settle)
+
+        def settle(value: Any) -> None:
+            if not isinstance(value, retry.retry_on):
+                done.fire(value)
+                return
+            if attempts[0] >= retry.max_attempts:
+                done.fire(value)
+                return
+            delay = retry.backoff_after(attempts[0])
+            if deadline is not None \
+                    and self.kernel.now + delay >= deadline:
+                done.fire(value)
+                return
+            self.requests_retried += 1
+            tracer = self.kernel.tracer
+            if tracer is not None:
+                tracer.instant(
+                    "orb", "request.retry", operation=operation,
+                    attempt=attempts[0], backoff=delay,
+                    error=type(value).__name__,
+                )
+            self.kernel.schedule(delay, launch)
+
+        launch()
         return done
 
     def _effective_dscp(
@@ -315,8 +405,33 @@ class Orb:
                 dscp=dscp,
                 on_message=self._on_client_message,
             )
+            connection.on_close = self._on_connection_closed
             self._connections[key] = connection
         return connection
+
+    def _on_connection_closed(self, connection: StreamConnection) -> None:
+        """Fail every request pending on a dead transport.
+
+        Covers the give-up path (``MAX_CONSECUTIVE_RTOS``) as well as
+        explicit shutdown: requests without a timeout would otherwise
+        hang forever, since no reply can ever arrive on this
+        connection again.
+        """
+        stranded = [rid for rid, p in self._pending.items()
+                    if p.connection is connection]
+        tracer = self.kernel.tracer
+        for request_id in stranded:
+            pending = self._pending.pop(request_id)
+            if pending.timeout_event is not None:
+                pending.timeout_event.cancel()
+            self.connection_failures += 1
+            if tracer is not None:
+                tracer.end("orb", "request", span=f"req:{request_id}",
+                           request=request_id, status="COMM_FAILURE")
+            pending.signal.fire(ConnectionClosed(
+                f"request {request_id}: connection to "
+                f"{connection.remote_host}:{connection.remote_port} closed"
+            ))
 
     def _on_client_message(self, payload: Any, meta: MessageMeta) -> None:
         encoded, sidecar = payload

@@ -1,0 +1,87 @@
+"""Client-side invocation retry policy.
+
+A :class:`RetryPolicy` makes ORB invocations resilient to *transient*
+transport failures — request timeouts and connections torn down under
+the request — without masking application errors: servant-raised
+system exceptions are never retried.  Pass one to
+:meth:`repro.orb.core.Orb.invoke`.
+
+The policy is three-knobbed, after the pattern of production ORBs and
+RPC stacks: a cap on total attempts, exponential backoff between
+attempts, and an overall deadline budget that bounds worst-case
+latency regardless of how the attempts interleave.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Type
+
+from repro.orb.core import ConnectionClosed, RequestTimeout
+
+__all__ = ["RetryPolicy"]
+
+
+class RetryPolicy:
+    """How a client invocation retries transient failures.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts, first try included (so ``1`` disables retry).
+    initial_backoff / multiplier / max_backoff:
+        The pause before attempt *n+1* is
+        ``min(max_backoff, initial_backoff * multiplier ** (n - 1))``.
+    deadline:
+        Overall budget in seconds, measured from the first attempt.
+        No attempt is launched (and no backoff slept) past it; the
+        per-attempt timeout is clipped to the remaining budget.
+        ``None`` means attempts-bounded only.
+    per_try_timeout:
+        Round-trip timeout applied to each attempt when the caller
+        did not pass an explicit ``timeout`` to ``invoke``.  Without
+        either, only a dead connection (never a silent loss) can
+        trigger a retry.
+    retry_on:
+        Exception types considered transient.
+    """
+
+    __slots__ = ("max_attempts", "initial_backoff", "multiplier",
+                 "max_backoff", "deadline", "per_try_timeout", "retry_on")
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        initial_backoff: float = 0.1,
+        multiplier: float = 2.0,
+        max_backoff: float = 2.0,
+        deadline: Optional[float] = None,
+        per_try_timeout: Optional[float] = None,
+        retry_on: Tuple[Type[BaseException], ...] = (
+            RequestTimeout, ConnectionClosed),
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if initial_backoff < 0 or max_backoff < 0:
+            raise ValueError("backoff must be non-negative")
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be positive")
+        self.max_attempts = int(max_attempts)
+        self.initial_backoff = float(initial_backoff)
+        self.multiplier = float(multiplier)
+        self.max_backoff = float(max_backoff)
+        self.deadline = None if deadline is None else float(deadline)
+        self.per_try_timeout = (
+            None if per_try_timeout is None else float(per_try_timeout))
+        self.retry_on = tuple(retry_on)
+
+    def backoff_after(self, attempt: int) -> float:
+        """Seconds to pause after failed attempt number ``attempt``."""
+        return min(self.max_backoff,
+                   self.initial_backoff * self.multiplier ** (attempt - 1))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"RetryPolicy(max_attempts={self.max_attempts}, "
+                f"initial_backoff={self.initial_backoff}, "
+                f"deadline={self.deadline})")

@@ -38,6 +38,7 @@ from repro.quo.remote import (
 from repro.quo.syscond import (
     CpuUtilizationSC,
     DeliveredRateSC,
+    FaultReporterSC,
     LossRateSC,
     ReservationStatusSC,
     SystemCondition,
@@ -48,6 +49,7 @@ __all__ = [
     "Contract",
     "CpuUtilizationSC",
     "Delegate",
+    "FaultReporterSC",
     "DeliveredRateSC",
     "LossRateSC",
     "Qosket",

@@ -186,6 +186,41 @@ class CpuUtilizationSC(SystemCondition):
         self._last_time = now
 
 
+class FaultReporterSC(SystemCondition):
+    """The set of currently-active injected (or detected) faults.
+
+    ``value`` is the number of active faults, so contracts can use
+    plain threshold predicates; :attr:`active_faults` names them.  The
+    fault layer (:class:`repro.faults.injector.FaultInjector`) calls
+    :meth:`fault_started` / :meth:`fault_cleared` on every windowed
+    fault edge, standing in for the out-of-band resource-status
+    monitoring a deployed system would run.  Contracts observing this
+    condition can shed load the instant an outage begins rather than
+    waiting for loss statistics to accumulate.
+    """
+
+    def __init__(self, kernel: Kernel, name: str = "faults") -> None:
+        super().__init__(kernel, name, initial=0)
+        self._active: List[str] = []
+        #: Total fault windows ever reported (observability).
+        self.faults_seen = 0
+
+    @property
+    def active_faults(self) -> tuple:
+        return tuple(self._active)
+
+    def fault_started(self, label: str) -> None:
+        if label not in self._active:
+            self._active.append(label)
+            self.faults_seen += 1
+            self._update(len(self._active))
+
+    def fault_cleared(self, label: str) -> None:
+        if label in self._active:
+            self._active.remove(label)
+            self._update(len(self._active))
+
+
 class ReservationStatusSC(SystemCondition):
     """Tracks an RSVP reservation's state string."""
 

@@ -43,6 +43,14 @@ def _mixed_specs(seed):
                  "duration": 5.0}, seed=seed),
         RunSpec("ablation_reserve_policy", {"policy": "HARD"}),
         RunSpec("ablation_reserve_policy", {"policy": "SOFT"}),
+        # Chaos arms: fault injection must replay bit-identically too
+        # (its loss bursts draw from a named, seeded RNG stream).
+        RunSpec("faults",
+                {"arm": {"name": "static", "adaptive": False},
+                 "duration": 8.0}, seed=seed),
+        RunSpec("faults",
+                {"arm": {"name": "adaptive", "adaptive": True},
+                 "duration": 8.0}, seed=seed),
     ]
 
 
@@ -69,7 +77,8 @@ def test_results_come_back_in_spec_order(tmp_path):
     runner.run([specs[2]])  # pre-warm one arm
     results = runner.run(specs)
     assert [r.spec for r in results] == specs
-    assert [r.cached for r in results] == [False, False, True, False]
+    assert [r.cached for r in results] == [False, False, True, False,
+                                           False, False]
 
 
 def test_unknown_scenario_is_an_error(tmp_path):
@@ -80,7 +89,7 @@ def test_unknown_scenario_is_an_error(tmp_path):
 def test_builtin_scenarios_registered():
     names = registered_scenarios()
     for expected in ("priority", "reservation_net", "reservation_cpu",
-                     "ablation_ecn", "ablation_phb",
+                     "faults", "ablation_ecn", "ablation_phb",
                      "ablation_reserve_policy", "ablation_priority_driven"):
         assert expected in names
 
