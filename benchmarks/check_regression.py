@@ -44,11 +44,21 @@ def main(argv=None) -> int:
     parser.add_argument("--min-seconds", type=float, default=0.2,
                         help="noise floor added for sub-threshold baselines "
                              "(default 0.2)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless NAME was measured in the current "
+                             "run (repeatable); catches a figure silently "
+                             "dropping out of the benchmark suite")
     args = parser.parse_args(argv)
 
     baseline = load(args.baseline)
     current = load(args.current)
     failures = []
+    for name in args.require:
+        if name not in current:
+            print(f"  required figure missing from current run: {name}",
+                  file=sys.stderr)
+            failures.append(name)
     for name in sorted(set(baseline) | set(current)):
         if name not in baseline:
             print(f"  new figure (no baseline): {name}")
@@ -73,7 +83,8 @@ def main(argv=None) -> int:
 
     if failures:
         print(f"\ncheck_regression: {len(failures)} figure(s) regressed "
-              f">{args.factor}x: {', '.join(failures)}", file=sys.stderr)
+              f">{args.factor}x or missing: {', '.join(failures)}",
+              file=sys.stderr)
         return 1
     print("\ncheck_regression: all figures within budget")
     return 0

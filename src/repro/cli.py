@@ -43,6 +43,7 @@ from repro.experiments.reporting import (
 )
 from repro.experiments.runner import ExperimentRunner, RunSpec
 from repro.experiments.scenario_registry import (
+    capacity_arm_params,
     cpu_arm_params,
     fault_arm_params,
     figure_specs,
@@ -188,6 +189,42 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             rows = result.cumulative_counts(bin_width=args.duration / 30)
             print()
             print(ascii_cumulative(f"Fig 8 — {arm.name}", rows))
+    return 0
+
+
+def _cmd_capacity(args: argparse.Namespace) -> int:
+    """Fig 9: the multi-stream capacity sweep behind admission control."""
+    from repro.scale.capacity_exp import all_arms, render_fig9_capacity
+
+    arms = all_arms()
+    if args.arm is not None:
+        matches = [arm for arm in arms if arm.name == args.arm]
+        if not matches:
+            names = ", ".join(arm.name for arm in arms)
+            raise SystemExit(
+                f"unknown arm {args.arm!r}; choose from: {names}")
+        arms = matches
+    try:
+        counts = sorted({int(part) for part in args.streams.split(",")
+                         if part.strip()})
+    except ValueError:
+        raise SystemExit(f"bad --streams value {args.streams!r}; expected "
+                         "a comma-separated list of stream counts")
+    if not counts or counts[0] < 1:
+        raise SystemExit("--streams needs at least one positive count")
+    print(f"running {', '.join(arm.name for arm in arms)} x "
+          f"N={{{', '.join(str(c) for c in counts)}}} "
+          f"({args.duration:.0f}s simulated each) ...", file=sys.stderr)
+    payloads = _runner(args).payloads([
+        RunSpec("capacity",
+                {"arm": capacity_arm_params(arm), "streams": count,
+                 "duration": args.duration}, seed=args.seed)
+        for arm in arms for count in counts
+    ])
+    sweeps = {arm.name: [] for arm in arms}
+    for payload in payloads:
+        sweeps[payload.arm.name].append(payload)
+    print(render_fig9_capacity(sweeps))
     return 0
 
 
@@ -388,6 +425,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run a single arm (static or adaptive)")
     p.add_argument("--chart", action="store_true",
                    help="also draw ASCII cumulative-delivery charts")
+
+    p = add("capacity", _cmd_capacity,
+            "fig 9 capacity sweep (N streams x four arms)", 12.0)
+    p.add_argument("--streams", default="1,2,4,8,16,32,64",
+                   help="comma-separated stream counts "
+                        "(default 1,2,4,8,16,32,64)")
+    p.add_argument("--arm", default=None,
+                   help="run a single arm (best-effort, priority, "
+                        "reserves, adaptive)")
 
     p = sub.add_parser(
         "bench",

@@ -33,6 +33,12 @@ from repro.experiments.reservation_net_exp import (
     all_arms as net_all_arms,
     run_network_reservation_experiment,
 )
+from repro.scale.capacity_exp import (
+    CapacityArm,
+    all_arms as capacity_all_arms,
+    fig9_stream_counts,
+    run_capacity_experiment,
+)
 
 
 def priority_arm_params(arm: PriorityArm) -> Dict[str, Any]:
@@ -90,6 +96,17 @@ def _faults(arm: Dict[str, Any], seed: int = 1, **kwargs: Any):
     """Fig 8 chaos arms: frame delivery under injected faults."""
     return run_fault_injection_experiment(FaultArm(**arm), seed=seed,
                                           **kwargs)
+
+
+def capacity_arm_params(arm: CapacityArm) -> Dict[str, Any]:
+    return {"name": arm.name, "priorities": arm.priorities,
+            "admission": arm.admission, "adaptation": arm.adaptation}
+
+
+@scenario("capacity")
+def _capacity(arm: Dict[str, Any], seed: int = 1, **kwargs: Any):
+    """Fig 9 capacity arms: N streams behind admission control."""
+    return run_capacity_experiment(CapacityArm(**arm), seed=seed, **kwargs)
 
 
 @scenario("ablation_ecn")
@@ -168,6 +185,13 @@ def figure_specs() -> "Dict[str, list]":
             RunSpec("faults",
                     {"arm": fault_arm_params(FaultArm("adaptive", True)),
                      "duration": 120.0}, seed=1),
+        ],
+        "fig9_capacity": [
+            RunSpec("capacity",
+                    {"arm": capacity_arm_params(arm), "streams": count,
+                     "duration": 12.0}, seed=1)
+            for arm in capacity_all_arms()
+            for count in fig9_stream_counts()
         ],
         "table1_network_reservation": [
             net_spec(arm) for arm in net_all_arms()

@@ -196,6 +196,10 @@ class Network:
         return device
 
     @property
+    def hosts(self) -> List[Host]:
+        return list(self._hosts.values())
+
+    @property
     def routers(self) -> List[Router]:
         return [d for d in self._devices.values() if isinstance(d, Router)]
 

@@ -11,8 +11,9 @@ via ``switch_cost``.
 
 from __future__ import annotations
 
+import heapq
 import itertools
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.sim.kernel import Kernel, ScheduledEvent
 from repro.sim.process import Signal
@@ -84,7 +85,8 @@ class CPU:
     __slots__ = ("kernel", "name", "speed", "_threads", "_queues",
                  "_current", "_run_start", "_completion_event",
                  "_ready_seq", "_ready_order", "busy_time",
-                 "context_switches", "_last_dispatched")
+                 "context_switches", "_last_dispatched",
+                 "_ready_heap", "_reserved_threads", "_entry_seq")
 
     def __init__(
         self,
@@ -109,6 +111,17 @@ class CPU:
         #: Number of context switches performed.
         self.context_switches = 0
         self._last_dispatched = -1
+        # Dispatch working set, split by how the scheduling key ages.
+        # Unreserved threads have a static key (priority, ready order),
+        # so they live in a lazy max-heap and cost O(log n) per ready
+        # transition instead of O(threads) per dispatch — the scan over
+        # every registered thread made dispatch O(streams x events) once
+        # the capacity farm parked 64 encoder threads here.  Reserved
+        # threads have time-varying keys (EDF within the boost band) and
+        # stay in a small list that is scanned exactly like before.
+        self._ready_heap: List[Tuple[int, int, int, SimThread]] = []
+        self._reserved_threads: List[SimThread] = []
+        self._entry_seq = itertools.count(1)
 
     # ------------------------------------------------------------------
     # Registration and submission
@@ -140,7 +153,45 @@ class CPU:
 
     def _make_ready(self, thread: SimThread) -> None:
         thread.state = ThreadState.READY
-        self._ready_order[thread.tid] = next(self._ready_seq)
+        order = next(self._ready_seq)
+        self._ready_order[thread.tid] = order
+        if thread.reserve is None:
+            heapq.heappush(
+                self._ready_heap,
+                (-thread.priority, order, next(self._entry_seq), thread),
+            )
+
+    def on_priority_change(self, thread: SimThread) -> None:
+        """Re-key ``thread`` after a native-priority change.
+
+        Old heap entries self-invalidate (their recorded priority no
+        longer matches the thread's); a fresh entry keeps the thread
+        dispatchable at its new priority within the same ready episode.
+        """
+        order = self._ready_order.get(thread.tid)
+        if thread.reserve is None and order is not None:
+            heapq.heappush(
+                self._ready_heap,
+                (-thread.priority, order, next(self._entry_seq), thread),
+            )
+
+    def on_reserve_attached(self, thread: SimThread) -> None:
+        """Move ``thread`` to the dynamic-key (reserved) working set."""
+        if thread not in self._reserved_threads:
+            self._reserved_threads.append(thread)
+
+    def on_reserve_detached(self, thread: SimThread) -> None:
+        """Return ``thread`` to the static-key heap after a cancel."""
+        try:
+            self._reserved_threads.remove(thread)
+        except ValueError:
+            pass
+        order = self._ready_order.get(thread.tid)
+        if order is not None and self._queues[thread.tid]:
+            heapq.heappush(
+                self._ready_heap,
+                (-thread.priority, order, next(self._entry_seq), thread),
+            )
 
     # ------------------------------------------------------------------
     # Scheduling core
@@ -219,18 +270,40 @@ class CPU:
         now = self.kernel.now
         candidate: Optional[SimThread] = None
         best_key = None
-        for thread in self._threads:
-            if thread.state not in (ThreadState.READY, ThreadState.RUNNING):
+        queues = self._queues
+        ready_order = self._ready_order
+        eligible = (ThreadState.READY, ThreadState.RUNNING)
+        for thread in self._reserved_threads:
+            if thread.state not in eligible:
                 continue
-            if not self._queues[thread.tid]:
+            if not queues[thread.tid]:
                 continue
             key = (
                 thread.effective_priority(now),
-                -self._ready_order.get(thread.tid, 0),
+                -ready_order.get(thread.tid, 0),
             )
             if best_key is None or key > best_key:
                 best_key = key
                 candidate = thread
+        heap = self._ready_heap
+        while heap:
+            neg_priority, order, _seq, thread = heap[0]
+            if (
+                thread.reserve is not None
+                or ready_order.get(thread.tid) != order
+                or thread.priority != -neg_priority
+                or not queues[thread.tid]
+                or thread.state not in eligible
+            ):
+                heapq.heappop(heap)  # stale entry: episode or key moved on
+                continue
+            # Valid top: the best unreserved contender.  It stays in the
+            # heap (its key is unchanged while it keeps pending work).
+            key = (float(-neg_priority), -order)
+            if best_key is None or key > best_key:
+                best_key = key
+                candidate = thread
+            break
         if candidate is None:
             return
         request = self._queues[candidate.tid][0]

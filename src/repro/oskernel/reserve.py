@@ -91,6 +91,7 @@ class Reserve:
         self._last_boundary = 0
         self._wakeup: Optional[ScheduledEvent] = None
         thread.reserve = self
+        thread.cpu.on_reserve_attached(thread)
 
     # ------------------------------------------------------------------
     @property
@@ -201,6 +202,7 @@ class Reserve:
         self.thread.reserve = None
         if self.thread.state == ThreadState.SUSPENDED:
             self.thread.state = ThreadState.READY
+        self.thread.cpu.on_reserve_detached(self.thread)
         self._manager.release(self)
         self.thread.cpu.reschedule()
 

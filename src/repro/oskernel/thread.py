@@ -69,6 +69,7 @@ class SimThread:
         if priority == self._priority:
             return
         self._priority = priority
+        self.cpu.on_priority_change(self)
         self.cpu.reschedule()
 
     def effective_priority(self, now: float) -> float:

@@ -1,0 +1,61 @@
+"""The CI wall-time gate: ratio check, cache skip, --require flag."""
+
+import importlib.util
+import json
+import pathlib
+
+_SCRIPT = (pathlib.Path(__file__).resolve().parents[2]
+           / "benchmarks" / "check_regression.py")
+_spec = importlib.util.spec_from_file_location("check_regression", _SCRIPT)
+check_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_regression)
+
+
+def write(tmp_path, name, entries):
+    path = tmp_path / name
+    path.write_text(json.dumps(entries))
+    return str(path)
+
+
+def entry(wall, cache_hits=0):
+    return {"wall_seconds": wall, "events": 1000, "runs": 2,
+            "cache_hits": cache_hits, "workers": 4}
+
+
+def test_within_budget_passes(tmp_path):
+    baseline = write(tmp_path, "base.json", {"fig": entry(1.0)})
+    current = write(tmp_path, "cur.json", {"fig": entry(1.8)})
+    assert check_regression.main([baseline, current]) == 0
+
+
+def test_regression_fails(tmp_path):
+    baseline = write(tmp_path, "base.json", {"fig": entry(1.0)})
+    current = write(tmp_path, "cur.json", {"fig": entry(2.5)})
+    assert check_regression.main([baseline, current]) == 1
+
+
+def test_cache_served_figure_is_skipped(tmp_path):
+    baseline = write(tmp_path, "base.json", {"fig": entry(1.0)})
+    current = write(tmp_path, "cur.json", {"fig": entry(9.0, cache_hits=2)})
+    assert check_regression.main([baseline, current]) == 0
+
+
+def test_new_and_retired_figures_never_fail(tmp_path):
+    baseline = write(tmp_path, "base.json", {"old": entry(1.0)})
+    current = write(tmp_path, "cur.json", {"new": entry(50.0)})
+    assert check_regression.main([baseline, current]) == 0
+
+
+def test_require_missing_figure_fails(tmp_path):
+    baseline = write(tmp_path, "base.json", {"fig": entry(1.0)})
+    current = write(tmp_path, "cur.json", {"fig": entry(1.0)})
+    args = [baseline, current, "--require", "fig9_capacity"]
+    assert check_regression.main(args) == 1
+
+
+def test_require_present_figure_passes(tmp_path):
+    entries = {"fig9_capacity": entry(1.0)}
+    baseline = write(tmp_path, "base.json", entries)
+    current = write(tmp_path, "cur.json", entries)
+    args = [baseline, current, "--require", "fig9_capacity"]
+    assert check_regression.main(args) == 0

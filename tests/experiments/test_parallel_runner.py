@@ -51,6 +51,16 @@ def _mixed_specs(seed):
         RunSpec("faults",
                 {"arm": {"name": "adaptive", "adaptive": True},
                  "duration": 8.0}, seed=seed),
+        # Capacity arms: N concurrent streams behind admission control
+        # must fan out and replay bit-identically like everything else.
+        RunSpec("capacity",
+                {"arm": {"name": "best-effort", "priorities": False,
+                         "admission": False, "adaptation": False},
+                 "streams": 3, "duration": 3.0}, seed=seed),
+        RunSpec("capacity",
+                {"arm": {"name": "adaptive", "priorities": True,
+                         "admission": True, "adaptation": True},
+                 "streams": 3, "duration": 3.0}, seed=seed),
     ]
 
 
@@ -78,7 +88,7 @@ def test_results_come_back_in_spec_order(tmp_path):
     results = runner.run(specs)
     assert [r.spec for r in results] == specs
     assert [r.cached for r in results] == [False, False, True, False,
-                                           False, False]
+                                           False, False, False, False]
 
 
 def test_unknown_scenario_is_an_error(tmp_path):
@@ -89,9 +99,45 @@ def test_unknown_scenario_is_an_error(tmp_path):
 def test_builtin_scenarios_registered():
     names = registered_scenarios()
     for expected in ("priority", "reservation_net", "reservation_cpu",
-                     "faults", "ablation_ecn", "ablation_phb",
+                     "faults", "capacity", "ablation_ecn", "ablation_phb",
                      "ablation_reserve_policy", "ablation_priority_driven"):
         assert expected in names
+
+
+# ----------------------------------------------------------------------
+# Fig 9 determinism: the capacity sweep across jobs and cache states
+# ----------------------------------------------------------------------
+def _fig9_small_specs(seed=1):
+    """A miniature fig 9 sweep: every arm at two stream counts."""
+    arms = [
+        {"name": "best-effort", "priorities": False,
+         "admission": False, "adaptation": False},
+        {"name": "priority", "priorities": True,
+         "admission": False, "adaptation": False},
+        {"name": "reserves", "priorities": True,
+         "admission": True, "adaptation": False},
+        {"name": "adaptive", "priorities": True,
+         "admission": True, "adaptation": True},
+    ]
+    return [RunSpec("capacity", {"arm": arm, "streams": streams,
+                                 "duration": 3.0}, seed=seed)
+            for arm in arms for streams in (1, 3)]
+
+
+def test_fig9_capacity_parity_across_jobs_and_cache(tmp_path):
+    """The capacity figure is byte-identical serial vs parallel and
+    cold vs warm cache — the fig 9 determinism guarantee."""
+    specs = _fig9_small_specs()
+    serial = _runner(tmp_path / "s", cache=False, jobs=1).run(specs)
+    parallel = _runner(tmp_path / "p", cache=False, jobs=4).run(specs)
+    cold = _runner(tmp_path / "c", jobs=4).run(specs)
+    warm = _runner(tmp_path / "c", jobs=4).run(specs)
+    for a, b, c, w in zip(serial, parallel, cold, warm):
+        blob = pickle.dumps(a.payload)
+        assert pickle.dumps(b.payload) == blob
+        assert pickle.dumps(c.payload) == blob
+        assert pickle.dumps(w.payload) == blob
+        assert not c.cached and w.cached
 
 
 # ----------------------------------------------------------------------

@@ -163,3 +163,80 @@ def test_prop_delivered_never_exceeds_sent(count, nbytes, seed):
     assert sorted(set(received)) == sorted(received)  # no duplication
     # FIFO path: order preserved among delivered packets.
     assert received == sorted(received)
+
+
+# ----------------------------------------------------------------------
+# Many-flow conservation: every packet is accounted for exactly once
+# ----------------------------------------------------------------------
+STREAM_PLANS = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=25),      # packets in stream
+        st.floats(min_value=0.002, max_value=0.05),  # send spacing (s)
+        st.integers(min_value=200, max_value=4000),  # payload bytes
+    ),
+    min_size=1, max_size=8,
+)
+
+
+@given(
+    STREAM_PLANS,
+    st.integers(min_value=2, max_value=12),  # bottleneck queue capacity
+    st.floats(min_value=0.05, max_value=0.6),  # observation horizon
+)
+@settings(max_examples=25, deadline=None)
+def test_prop_many_flow_conservation(plans, capacity, horizon):
+    """N concurrent streams through a shared bottleneck: at any horizon
+    every sent packet is exactly one of delivered, dropped-with-reason,
+    or still in flight — and once the network drains, delivered plus
+    dropped partition the sent set exactly (no duplication, no loss
+    without a drop record)."""
+    kernel = Kernel()
+    net = Network(kernel, default_bandwidth_bps=2e6)
+    for name in ("a", "b", "dst"):
+        net.attach_host(Host(kernel, name))
+    router = net.add_router("r")
+    drops = []  # (packet identity, queue that dropped it)
+
+    def hooked(label):
+        queue = FifoQueue(capacity=capacity)
+        queue.on_drop = lambda pkt, label=label: drops.append(
+            (pkt.payload, label))
+        return queue
+
+    net.link("a", router, qdisc_a=hooked("a->r"))
+    net.link("b", router, qdisc_a=hooked("b->r"))
+    net.link(router, "dst", qdisc_a=hooked("r->dst"))
+    net.compute_routes()
+
+    delivered = []
+    sent = []
+    for index, (count, spacing, nbytes) in enumerate(plans):
+        port = 100 + index
+        DatagramSocket(
+            kernel, net.nic_of("dst"), port=port,
+            on_receive=lambda payload, pkt: delivered.append(payload))
+        sender = DatagramSocket(
+            kernel, net.nic_of("a" if index % 2 == 0 else "b"))
+        for seq in range(count):
+            identity = (index, seq)
+            sent.append(identity)
+            kernel.schedule(seq * spacing, sender.send_to,
+                            "dst", port, identity, nbytes)
+
+    def check_books(require_drained):
+        assert len(set(delivered)) == len(delivered)  # no duplication
+        dropped = [identity for identity, _label in drops]
+        assert len(set(dropped)) == len(dropped)  # dropped at most once
+        assert set(delivered).isdisjoint(dropped)
+        accounted = set(delivered) | set(dropped)
+        assert accounted <= set(sent)
+        in_flight = set(sent) - accounted
+        if require_drained:
+            assert not in_flight  # drained: exact partition
+        for _identity, label in drops:
+            assert label in ("a->r", "b->r", "r->dst")
+
+    kernel.run(until=horizon)
+    check_books(require_drained=False)
+    kernel.run()  # drain every queued and in-flight packet
+    check_books(require_drained=True)
