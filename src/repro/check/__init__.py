@@ -1,0 +1,63 @@
+"""Runtime invariant checking and randomized soak testing.
+
+``repro.check`` watches a running simulation for violated conservation
+laws — packet accounting, ledger bounds, scheduler sanity — through
+the same zero-cost trace layer the observability stack uses, and
+drives randomized soak campaigns that hunt for configurations under
+which one of those laws breaks.
+
+Public surface:
+
+* :class:`~repro.check.world.World` — read-only object graph handed
+  to checkers.
+* :class:`~repro.check.invariants.CheckSuite` /
+  :func:`~repro.check.invariants.default_suite` — the monitors,
+  installable as one trace sink.
+* :class:`~repro.check.invariants.InvariantViolation` — raised
+  fail-fast at the first broken invariant.
+* :func:`~repro.check.soak.run_soak` — the ``repro soak`` driver.
+"""
+
+from repro.check.world import World
+from repro.check.invariants import (
+    CheckSuite,
+    ContractChecker,
+    InvariantChecker,
+    InvariantViolation,
+    PacketConservationChecker,
+    QdiscAccountingChecker,
+    ReserveLedgerChecker,
+    ThreadStateChecker,
+    TimeMonotonicityChecker,
+    TokenBucketChecker,
+    default_suite,
+)
+from repro.check.soak import (
+    generate_case,
+    generate_cases,
+    replay_command,
+    run_soak,
+    run_soak_case,
+    shrink_case,
+)
+
+__all__ = [
+    "World",
+    "CheckSuite",
+    "InvariantChecker",
+    "InvariantViolation",
+    "TimeMonotonicityChecker",
+    "QdiscAccountingChecker",
+    "TokenBucketChecker",
+    "ReserveLedgerChecker",
+    "PacketConservationChecker",
+    "ContractChecker",
+    "ThreadStateChecker",
+    "default_suite",
+    "generate_case",
+    "generate_cases",
+    "run_soak_case",
+    "shrink_case",
+    "replay_command",
+    "run_soak",
+]

@@ -1,0 +1,709 @@
+"""Runtime invariant monitors over the trace stream.
+
+Each :class:`InvariantChecker` watches one conservation or sanity law
+of the simulation — packet conservation, ledger bounds, scheduler
+state — by consuming the same trace records the observability layer
+already emits, plus read-only walks of the live object graph
+(:class:`~repro.check.world.World`).  A :class:`CheckSuite` bundles
+checkers behind a single :class:`~repro.obs.sinks.TraceSink`-shaped
+object, so installing the suite is just adding a sink; with no suite
+installed the simulation pays nothing (the ``kernel.tracer is None``
+fast path).
+
+Checkers are *fail-fast*: the first violated invariant raises
+:class:`InvariantViolation` out of the emitting instrumentation site,
+aborting the run at the exact simulated instant the books stopped
+balancing.  ``final_check()`` runs the teardown laws (no silently
+consumed packets, ledgers within bounds, scheduler quiescent-sane)
+after ``kernel.run`` returns.
+
+Checkers never mutate simulation state and never consume random
+numbers, so a checked run produces bit-identical results to an
+unchecked one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sim.quantize import EPSILON
+from repro.obs.trace import TraceRecord, Tracer
+from repro.check.world import World
+
+__all__ = [
+    "InvariantViolation",
+    "InvariantChecker",
+    "CheckSuite",
+    "TimeMonotonicityChecker",
+    "QdiscAccountingChecker",
+    "TokenBucketChecker",
+    "ReserveLedgerChecker",
+    "PacketConservationChecker",
+    "ContractChecker",
+    "ThreadStateChecker",
+    "default_suite",
+]
+
+#: Slack for comparing float ledgers (shared numeric policy).
+_LEDGER_SLACK = 1e-9
+
+
+class InvariantViolation(AssertionError):
+    """A runtime invariant failed.
+
+    Subclasses :class:`AssertionError` so generic test harnesses treat
+    it as a failed assertion, while soak drivers can catch it
+    specifically and attach the reproducing configuration.
+    """
+
+    def __init__(self, checker: str, message: str,
+                 context: Optional[dict] = None) -> None:
+        self.checker = checker
+        self.context = dict(context or {})
+        detail = ""
+        if self.context:
+            pairs = ", ".join(
+                f"{key}={value!r}" for key, value in sorted(self.context.items())
+            )
+            detail = f" [{pairs}]"
+        super().__init__(f"[{checker}] {message}{detail}")
+
+
+class InvariantChecker:
+    """Base monitor: attach to a world, watch records, check teardown.
+
+    Attributes
+    ----------
+    name:
+        Short identifier used in violation messages.
+    layers:
+        Trace layers this checker wants (``None`` = every layer).  The
+        suite fans records out by layer so uninterested checkers never
+        see them.
+    """
+
+    name = "invariant"
+    layers: Optional[tuple] = None
+
+    def __init__(self) -> None:
+        self.world: Optional[World] = None
+        #: Records this checker inspected (observability).
+        self.events_seen = 0
+
+    def attach(self, world: World) -> None:
+        self.world = world
+
+    def on_event(self, record: TraceRecord) -> None:  # pragma: no cover
+        """Called for every record in this checker's layers."""
+
+    def final_check(self) -> None:  # pragma: no cover
+        """Called once after the run; assert teardown laws."""
+
+    # ------------------------------------------------------------------
+    def fail(self, message: str, **context) -> None:
+        if self.world is not None:
+            context.setdefault("time", self.world.kernel.now)
+        raise InvariantViolation(self.name, message, context)
+
+    def require(self, condition: bool, message: str, **context) -> None:
+        if not condition:
+            self.fail(message, **context)
+
+
+class CheckSuite:
+    """A set of invariant checkers behind one trace sink.
+
+    Usage::
+
+        suite = default_suite()
+        suite.install(World(kernel, network=net, hosts=hosts))
+        kernel.run(until=duration)
+        suite.final_check()
+
+    ``install`` reuses the kernel's tracer when one is attached (the
+    suite becomes an extra sink) or attaches a private tracer
+    otherwise; ``uninstall`` undoes exactly what ``install`` did.
+    """
+
+    def __init__(self, checkers: List[InvariantChecker]) -> None:
+        self.checkers = list(checkers)
+        self.world: Optional[World] = None
+        self._tracer: Optional[Tracer] = None
+        self._owns_tracer = False
+        self._by_layer: Dict[str, List[InvariantChecker]] = {}
+        self._all_layers: List[InvariantChecker] = []
+        #: Records fanned out to at least one checker.
+        self.events_dispatched = 0
+
+    # ------------------------------------------------------------------
+    # Installation
+    # ------------------------------------------------------------------
+    def install(self, world: World, tracer: Optional[Tracer] = None) -> "CheckSuite":
+        """Attach every checker to ``world`` and start watching traces."""
+        self.world = world
+        self._by_layer = {}
+        self._all_layers = []
+        for checker in self.checkers:
+            checker.attach(world)
+            if checker.layers is None:
+                self._all_layers.append(checker)
+            else:
+                for layer in checker.layers:
+                    self._by_layer.setdefault(layer, []).append(checker)
+        kernel = world.kernel
+        if tracer is None:
+            tracer = kernel.tracer
+        if tracer is not None:
+            tracer.add_sink(self)
+            self._owns_tracer = False
+        else:
+            tracer = Tracer(sinks=[self])
+            tracer.attach(kernel)
+            self._owns_tracer = True
+        self._tracer = tracer
+        return self
+
+    def uninstall(self) -> None:
+        """Stop watching; detaches the private tracer if we created it."""
+        if self._tracer is not None:
+            if self in self._tracer.sinks:
+                self._tracer.sinks.remove(self)
+            if self._owns_tracer:
+                self._tracer.detach()
+        self._tracer = None
+        self._owns_tracer = False
+
+    # ------------------------------------------------------------------
+    # TraceSink protocol
+    # ------------------------------------------------------------------
+    def emit(self, record: TraceRecord) -> None:
+        interested = self._by_layer.get(record.layer)
+        if interested:
+            self.events_dispatched += 1
+            for checker in interested:
+                checker.events_seen += 1
+                checker.on_event(record)
+        if self._all_layers:
+            for checker in self._all_layers:
+                checker.events_seen += 1
+                checker.on_event(record)
+
+    def close(self) -> None:
+        """TraceSink protocol; nothing to flush."""
+
+    # ------------------------------------------------------------------
+    def final_check(self) -> None:
+        """Run every checker's teardown laws (call after kernel.run)."""
+        for checker in self.checkers:
+            checker.final_check()
+
+    def summary(self) -> Dict[str, int]:
+        return {checker.name: checker.events_seen for checker in self.checkers}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<CheckSuite {[c.name for c in self.checkers]}>"
+
+
+# ----------------------------------------------------------------------
+# Individual monitors
+# ----------------------------------------------------------------------
+class TimeMonotonicityChecker(InvariantChecker):
+    """Trace (and hence kernel event) times never run backwards."""
+
+    name = "time-monotonic"
+    layers = None  # every layer
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last = float("-inf")
+        self._last_kind = None
+
+    def on_event(self, record: TraceRecord) -> None:
+        if record.time < self._last:
+            self.fail(
+                "event time ran backwards",
+                event=f"{record.layer}.{record.kind}",
+                event_time=record.time, previous_time=self._last,
+                previous_event=self._last_kind,
+            )
+        self._last = record.time
+        self._last_kind = f"{record.layer}.{record.kind}"
+
+    def final_check(self) -> None:
+        if self._last == float("-inf"):
+            return
+        now = self.world.kernel.now
+        self.require(
+            now + EPSILON >= self._last,
+            "kernel clock ended before the last trace record",
+            kernel_now=now, last_record=self._last,
+        )
+
+
+class QdiscAccountingChecker(InvariantChecker):
+    """Queue books balance: ``len(q) == enqueued - dequeued`` always.
+
+    (Dropped packets never enter the queue, so they do not appear in
+    the length identity; ``dropped`` is separately required to be
+    non-negative and, for :class:`GuaranteedRateQueue`, to cover every
+    drop of the inner DiffServ base exactly once.)
+    """
+
+    name = "qdisc-accounting"
+    layers = ("net",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._qdiscs: Dict[str, object] = {}
+
+    def attach(self, world: World) -> None:
+        super().attach(world)
+        self._qdiscs = world.qdiscs()
+
+    def _check_one(self, label: str, qdisc) -> None:
+        held = len(qdisc)
+        expected = qdisc.enqueued - qdisc.dequeued
+        self.require(
+            held == expected,
+            "queue length disagrees with enqueue/dequeue books",
+            qdisc=label, len=held, enqueued=qdisc.enqueued,
+            dequeued=qdisc.dequeued, dropped=qdisc.dropped,
+        )
+        self.require(
+            qdisc.enqueued >= 0 and qdisc.dequeued >= 0 and qdisc.dropped >= 0,
+            "negative queue counter", qdisc=label,
+            enqueued=qdisc.enqueued, dequeued=qdisc.dequeued,
+            dropped=qdisc.dropped,
+        )
+        flow_drops = sum(qdisc.drops_by_flow.values())
+        self.require(
+            flow_drops == qdisc.dropped,
+            "per-flow drop ledger disagrees with the drop counter",
+            qdisc=label, dropped=qdisc.dropped, by_flow=flow_drops,
+        )
+        base = getattr(qdisc, "_base", None)
+        if base is not None:
+            self.require(
+                len(base) == base.enqueued - base.dequeued,
+                "inner base queue books do not balance",
+                qdisc=label, base_len=len(base),
+                base_enqueued=base.enqueued, base_dequeued=base.dequeued,
+            )
+            self.require(
+                base.dropped <= qdisc.dropped,
+                "inner base drops not mirrored into the outer queue",
+                qdisc=label, base_dropped=base.dropped,
+                outer_dropped=qdisc.dropped,
+            )
+
+    def on_event(self, record: TraceRecord) -> None:
+        if not record.kind.startswith("hop."):
+            return
+        fields = record.fields or {}
+        label = fields.get("iface")
+        if label is None:
+            return
+        qdisc = self._qdiscs.get(label)
+        if qdisc is not None:
+            self._check_one(label, qdisc)
+
+    def final_check(self) -> None:
+        for label, qdisc in self._qdiscs.items():
+            self._check_one(label, qdisc)
+
+
+class TokenBucketChecker(InvariantChecker):
+    """Every policing bucket holds ``0 <= tokens <= depth`` always.
+
+    Reads the raw ``_tokens`` field deliberately: the ``tokens``
+    property refills as a side effect, and a checker-triggered refill
+    would change float accumulation and break the bit-identity
+    guarantee.
+    """
+
+    name = "token-bucket"
+    layers = ("net",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._grqs: Dict[str, object] = {}
+
+    def attach(self, world: World) -> None:
+        super().attach(world)
+        self._grqs = {
+            label: qdisc for label, qdisc in world.qdiscs().items()
+            if hasattr(qdisc, "reserved_flows")
+        }
+
+    def _check_one(self, label: str, qdisc) -> None:
+        for flow_id, bucket in qdisc._buckets.items():
+            tokens = bucket._tokens
+            self.require(
+                0.0 <= tokens <= bucket.depth_bytes,
+                "token count escaped [0, depth]",
+                qdisc=label, flow=flow_id, tokens=tokens,
+                depth=bucket.depth_bytes,
+            )
+
+    def on_event(self, record: TraceRecord) -> None:
+        if record.kind != "hop.enqueue":
+            return
+        fields = record.fields or {}
+        qdisc = self._grqs.get(fields.get("iface"))
+        if qdisc is not None:
+            self._check_one(fields["iface"], qdisc)
+
+    def final_check(self) -> None:
+        for label, qdisc in self._grqs.items():
+            self._check_one(label, qdisc)
+
+
+class ReserveLedgerChecker(InvariantChecker):
+    """CPU-reserve and RSVP admission ledgers stay within their bounds.
+
+    * per manager: ``sum(C/T)`` over admitted reserves never exceeds
+      the utilization bound, and each budget sits in ``[0, C]``;
+    * per RSVP agent and interface: installed reservation rates sum to
+      at most ``bandwidth * utilization_bound`` and are each positive.
+
+    Budgets are read raw (no ``sync()``), since syncing replenishes —
+    a mutation a checker must never cause.
+    """
+
+    name = "reserve-ledger"
+    layers = ("os", "net")
+
+    _OS_KINDS = frozenset(("reserve.replenish", "reserve.deplete"))
+
+    def _check_cpu_ledgers(self) -> None:
+        for manager in self.world.reserve_managers():
+            total = 0.0
+            for reserve in manager._reserves:
+                total += reserve.compute / reserve.period
+                self.require(
+                    -_LEDGER_SLACK <= reserve.budget_remaining
+                    <= reserve.compute + _LEDGER_SLACK,
+                    "reserve budget escaped [0, C]",
+                    reserve=reserve.reserve_id,
+                    budget=reserve.budget_remaining, compute=reserve.compute,
+                )
+                self.require(
+                    reserve.active,
+                    "cancelled reserve still on the manager's books",
+                    reserve=reserve.reserve_id,
+                )
+            self.require(
+                total <= manager.utilization_bound + _LEDGER_SLACK,
+                "admitted CPU utilization exceeds the bound",
+                cpu=manager.cpu.name, total=total,
+                bound=manager.utilization_bound,
+            )
+
+    def _check_rsvp_ledgers(self) -> None:
+        for agent in self.world.rsvp_agents():
+            for interface, table in agent._reserved.items():
+                capacity = (
+                    interface.link.bandwidth_bps * agent.utilization_bound
+                )
+                reserved = 0.0
+                for flow_id, rate in table.items():
+                    self.require(
+                        rate > 0.0,
+                        "non-positive reserved rate installed",
+                        iface=f"{interface.owner.name}.{interface.name}",
+                        flow=flow_id, rate=rate,
+                    )
+                    reserved += rate
+                self.require(
+                    reserved <= capacity + _LEDGER_SLACK,
+                    "RSVP reservations exceed the link budget",
+                    iface=f"{interface.owner.name}.{interface.name}",
+                    reserved=reserved, capacity=capacity,
+                )
+
+    def on_event(self, record: TraceRecord) -> None:
+        if record.layer == "os":
+            if record.kind in self._OS_KINDS:
+                self._check_cpu_ledgers()
+        elif record.kind == "rsvp.expire":
+            self._check_rsvp_ledgers()
+
+    def final_check(self) -> None:
+        self._check_cpu_ledgers()
+        self._check_rsvp_ledgers()
+
+
+class PacketConservationChecker(InvariantChecker):
+    """Every data packet ends in exactly one accounted fate.
+
+    Per packet id a small state machine follows the hop trace:
+    ``QUEUED`` (in a qdisc), ``WIRE`` (serializing/propagating),
+    ``DEVICE`` (received, being routed or delivered), and the terminal
+    fates ``DELIVERED`` / ``DROPPED`` / ``LOST`` / ``UNROUTABLE`` /
+    ``UNDELIVERABLE``.  Illegal transitions — a packet dequeued while
+    not queued, delivered twice, touched after a terminal fate — fail
+    immediately.  At teardown no packet may remain in ``DEVICE`` (that
+    is a silently consumed packet: it was received but neither
+    forwarded, delivered, nor counted as a drop), and the number of
+    tracked ``QUEUED`` packets can never exceed what the queues
+    physically hold.
+
+    RSVP signaling (flow ids starting ``"rsvp:"``) is excluded:
+    signaling packets are legitimately consumed and re-created at
+    every hop, so per-id conservation does not apply.
+    """
+
+    name = "packet-conservation"
+    layers = ("net",)
+
+    QUEUED = "queued"
+    WIRE = "wire"
+    DEVICE = "device"
+    DELIVERED = "delivered"
+    DROPPED = "dropped"
+    LOST = "lost"
+    UNROUTABLE = "unroutable"
+    UNDELIVERABLE = "undeliverable"
+
+    _TERMINAL = frozenset((DELIVERED, DROPPED, LOST, UNROUTABLE,
+                           UNDELIVERABLE))
+
+    #: kind -> (allowed previous states, next state); ``None`` in the
+    #: allowed set means "first sighting of this packet id".
+    _TRANSITIONS = {
+        "hop.enqueue": (frozenset((None, DEVICE)), QUEUED),
+        "hop.drop": (frozenset((None, DEVICE)), DROPPED),
+        "hop.dequeue": (frozenset((QUEUED,)), WIRE),
+        "hop.loss": (frozenset((WIRE,)), LOST),
+        "hop.rx": (frozenset((WIRE,)), DEVICE),
+        "route.unroutable": (frozenset((DEVICE,)), UNROUTABLE),
+        "nic.deliver": (frozenset((None, DEVICE)), DELIVERED),
+        "nic.undeliverable": (frozenset((None, DEVICE)), UNDELIVERABLE),
+    }
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._state: Dict[int, str] = {}
+        self._flow: Dict[int, str] = {}
+        self.tracked = 0
+
+    def _counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for state in self._state.values():
+            counts[state] = counts.get(state, 0) + 1
+        return counts
+
+    def on_event(self, record: TraceRecord) -> None:
+        if record.flow is None or record.flow.startswith("rsvp:"):
+            return
+        packet_id = (record.fields or {}).get("packet")
+        if packet_id is None:
+            return
+        previous = self._state.get(packet_id)
+        if record.kind == "route.forward":
+            self.require(
+                previous == self.DEVICE,
+                "packet routed while not held by a device",
+                packet=packet_id, flow=record.flow, state=previous,
+            )
+            return
+        rule = self._TRANSITIONS.get(record.kind)
+        if rule is None:
+            return
+        allowed, nxt = rule
+        if previous in self._TERMINAL:
+            self.fail(
+                "packet resurrected after a terminal fate",
+                packet=packet_id, flow=record.flow, state=previous,
+                event=record.kind,
+            )
+        if previous not in allowed:
+            self.fail(
+                "illegal packet life-cycle transition",
+                packet=packet_id, flow=record.flow, state=previous,
+                event=record.kind,
+            )
+        if previous is None:
+            self.tracked += 1
+            self._flow[packet_id] = record.flow
+        self._state[packet_id] = nxt
+
+    def final_check(self) -> None:
+        counts = self._counts()
+        leaked = [
+            (pid, self._flow.get(pid))
+            for pid, state in self._state.items() if state == self.DEVICE
+        ]
+        self.require(
+            not leaked,
+            "packets received by a device but never delivered, forwarded "
+            "or dropped",
+            leaked=leaked[:10], count=len(leaked),
+        )
+        physically_queued = sum(
+            len(qdisc) for qdisc in self.world.qdiscs().values()
+        )
+        tracked_queued = counts.get(self.QUEUED, 0)
+        self.require(
+            tracked_queued <= physically_queued,
+            "more packets tracked as queued than the queues hold",
+            tracked=tracked_queued, physical=physically_queued,
+        )
+        terminal = sum(counts.get(state, 0) for state in self._TERMINAL)
+        in_flight = tracked_queued + counts.get(self.WIRE, 0)
+        self.require(
+            terminal + in_flight == self.tracked,
+            "packet fates do not partition the packets sent",
+            terminal=terminal, in_flight=in_flight, tracked=self.tracked,
+        )
+
+
+class ContractChecker(InvariantChecker):
+    """Region transitions chain causally and callbacks never nest.
+
+    Trace-level: for each contract, every transition's ``from_region``
+    must equal the previous transition's ``to_region`` (the re-entrancy
+    guard in :meth:`Contract.evaluate` exists precisely to keep this
+    chain unbroken).  Object-level (registered contracts only): after
+    the run no evaluation is still marked in-flight and the current
+    region matches the last recorded transition.
+    """
+
+    name = "contract"
+    layers = ("quo",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_region: Dict[str, Optional[str]] = {}
+
+    def on_event(self, record: TraceRecord) -> None:
+        if record.kind != "region.transition":
+            return
+        fields = record.fields or {}
+        contract = fields.get("contract")
+        from_region = fields.get("from_region")
+        to_region = fields.get("to_region")
+        if contract in self._last_region:
+            expected = self._last_region[contract]
+            self.require(
+                from_region == expected,
+                "transition chain broken (nested or lost evaluation)",
+                contract=contract, from_region=from_region,
+                expected=expected, to_region=to_region,
+            )
+        self.require(
+            from_region != to_region,
+            "self-transition recorded",
+            contract=contract, region=to_region,
+        )
+        self._last_region[contract] = to_region
+
+    def final_check(self) -> None:
+        for contract in self.world.contracts:
+            self.require(
+                not contract._evaluating,
+                "contract still mid-evaluation at teardown",
+                contract=contract.name,
+            )
+            if contract.transitions:
+                last = contract.transitions[-1].to_region
+                self.require(
+                    contract.current_region == last,
+                    "current region disagrees with the transition log",
+                    contract=contract.name,
+                    current=contract.current_region, logged=last,
+                )
+            if contract.name in self._last_region:
+                self.require(
+                    self._last_region[contract.name]
+                    == contract.current_region,
+                    "trace stream disagrees with the contract object",
+                    contract=contract.name,
+                    traced=self._last_region[contract.name],
+                    current=contract.current_region,
+                )
+
+
+class ThreadStateChecker(InvariantChecker):
+    """Scheduler structural sanity: one CPU per running thread, no
+    dead thread dispatchable.
+
+    Verified on every dispatch and kill (and at teardown):
+
+    * a CPU's current thread is in ``RUNNING`` state;
+    * no thread is current on two CPUs;
+    * no non-current thread claims ``RUNNING``;
+    * dead threads hold no queued work, no ready episode, and are
+      never current — so a stale lazy-heap entry can never get one
+      dispatched.
+    """
+
+    name = "thread-state"
+    layers = ("os",)
+
+    _KINDS = frozenset(("cpu.dispatch", "thread.kill"))
+
+    def _check_all(self) -> None:
+        from repro.oskernel.thread import ThreadState
+
+        running_on: Dict[int, str] = {}
+        for cpu in self.world.cpus():
+            current = cpu._current
+            if current is not None:
+                self.require(
+                    current.state is ThreadState.RUNNING,
+                    "current thread is not in RUNNING state",
+                    cpu=cpu.name, thread=current.name,
+                    state=current.state.value,
+                )
+                if current.tid in running_on:
+                    self.fail(
+                        "thread current on two CPUs",
+                        thread=current.name, first=running_on[current.tid],
+                        second=cpu.name,
+                    )
+                running_on[current.tid] = cpu.name
+            for thread in cpu._threads:
+                if thread.state is ThreadState.RUNNING:
+                    self.require(
+                        thread is current,
+                        "RUNNING thread is not the CPU's current thread",
+                        cpu=cpu.name, thread=thread.name,
+                    )
+                if thread.state is ThreadState.DEAD:
+                    self.require(
+                        thread is not current,
+                        "dead thread holds the CPU",
+                        cpu=cpu.name, thread=thread.name,
+                    )
+                    self.require(
+                        not cpu._queues[thread.tid],
+                        "dead thread still has queued work",
+                        cpu=cpu.name, thread=thread.name,
+                        pending=len(cpu._queues[thread.tid]),
+                    )
+                    self.require(
+                        thread.tid not in cpu._ready_order,
+                        "dead thread still holds a ready episode",
+                        cpu=cpu.name, thread=thread.name,
+                    )
+
+    def on_event(self, record: TraceRecord) -> None:
+        if record.kind in self._KINDS:
+            self._check_all()
+
+    def final_check(self) -> None:
+        self._check_all()
+
+
+def default_suite() -> CheckSuite:
+    """All built-in monitors, ready to ``install`` on a world."""
+    return CheckSuite([
+        TimeMonotonicityChecker(),
+        QdiscAccountingChecker(),
+        TokenBucketChecker(),
+        ReserveLedgerChecker(),
+        PacketConservationChecker(),
+        ContractChecker(),
+        ThreadStateChecker(),
+    ])

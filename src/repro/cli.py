@@ -327,6 +327,49 @@ def _cmd_table2(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    """Randomized invariant soak: random configs under the checkers."""
+    from repro.check.soak import run_soak, run_soak_case
+
+    if args.replay is not None:
+        try:
+            case = json.loads(args.replay)
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"bad --replay JSON: {exc}")
+        print(f"replaying case {case.get('index', '?')} "
+              f"(seed {case.get('seed', '?')}) ...", file=sys.stderr)
+        verdict = run_soak_case(case)
+        if verdict["ok"]:
+            print(f"replay clean: {verdict['events']} events, "
+                  f"{verdict['delivered']}/{verdict['sent']} frames "
+                  f"delivered, {verdict['checked']} records checked")
+            return 0
+        print(f"replay FAILED ({verdict['failure']}): "
+              f"{verdict['message']}")
+        return 1
+
+    report = run_soak(
+        root_seed=args.seed, runs=args.runs, duration=args.duration,
+        max_streams=args.max_streams, jobs=args.jobs,
+        shrink=not args.no_shrink,
+        emit=lambda line: print(line, file=sys.stderr))
+    for entry in report["failures"]:
+        print()
+        print(f"case {entry['case']['index']} FAILED "
+              f"({entry['failure']}"
+              + (f", checker {entry['checker']}" if entry["checker"] else "")
+              + f"): {entry['message']}")
+        print(f"  minimal reproducer: {json.dumps(entry['shrunk'], sort_keys=True)}")
+        print(f"  replay: {entry['replay']}")
+    if report["ok"]:
+        print(f"soak clean: {report['runs']} cases, "
+              f"{report['events']} events, 0 violations")
+        return 0
+    print(f"\nsoak FAILED: {len(report['failures'])}/{report['runs']} "
+          f"cases violated an invariant")
+    return 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Regenerate every figure through the parallel engine.
 
@@ -434,6 +477,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--arm", default=None,
                    help="run a single arm (best-effort, priority, "
                         "reserves, adaptive)")
+
+    p = sub.add_parser(
+        "soak",
+        help="randomized invariant soak: run random scenario x fault x "
+             "capacity configs under the runtime checkers",
+    )
+    p.add_argument("--runs", type=int, default=20,
+                   help="number of random cases to run (default 20)")
+    p.add_argument("--duration", type=float, default=6.0,
+                   help="simulated seconds per case (default 6)")
+    p.add_argument("--max-streams", type=int, default=8,
+                   help="upper bound on streams per case (default 8)")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="skip minimizing failing cases")
+    p.add_argument("--replay", default=None, metavar="JSON",
+                   help="re-run one exact case from its JSON form "
+                        "(as printed by a failure report)")
+    # Also accepted after the subcommand (replay commands read
+    # naturally as `repro soak --seed S ...`); SUPPRESS keeps the
+    # global pre-subcommand values when these are omitted.
+    p.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                   help="root seed deriving every case (default 1)")
+    p.add_argument("-j", "--jobs", type=int, default=argparse.SUPPRESS,
+                   help="worker processes (default: auto)")
+    p.set_defaults(func=_cmd_soak)
 
     p = sub.add_parser(
         "bench",

@@ -173,28 +173,55 @@ def _events_of(payload: Any) -> int:
 # ----------------------------------------------------------------------
 # Source-tree digest
 # ----------------------------------------------------------------------
-_digest_cache: Optional[str] = None
+_digest_cache: Dict[str, str] = {}
 
 
-def source_tree_digest() -> str:
-    """SHA-256 over every ``.py`` file in the ``repro`` package.
+def _digest_files(package_root: Path) -> List[Path]:
+    """Every cache-relevant file under ``package_root``, sorted.
 
-    Computed once per process.  Any source edit — simulator, ORB,
-    experiment definitions — changes the digest and invalidates the
-    whole cache, which is the only safe default for a simulator whose
-    every byte can influence results.
+    The walk is automatic — new subpackages and non-``.py`` inputs
+    (data tables, templates) are picked up without enumeration; only
+    bytecode and hidden/cache directories are excluded, since they
+    never influence results.
     """
-    global _digest_cache
-    if _digest_cache is None:
-        package_root = Path(__file__).resolve().parents[1]
+    files = []
+    for path in package_root.rglob("*"):
+        if not path.is_file():
+            continue
+        rel = path.relative_to(package_root)
+        if any(part == "__pycache__" or part.startswith(".")
+               for part in rel.parts):
+            continue
+        if path.suffix in (".pyc", ".pyo"):
+            continue
+        files.append(path)
+    files.sort()
+    return files
+
+
+def source_tree_digest(package_root: Optional[Path] = None) -> str:
+    """SHA-256 over every file in the ``repro`` package tree.
+
+    Computed once per process per root.  Any source edit — simulator,
+    ORB, experiment definitions, a freshly added subpackage, even a
+    non-``.py`` data file — changes the digest and invalidates the
+    whole cache, which is the only safe default for a simulator whose
+    every byte can influence results.  ``package_root`` is overridable
+    for tests; the default is the installed ``repro`` package.
+    """
+    root = (Path(package_root) if package_root is not None
+            else Path(__file__).resolve().parents[1])
+    key = str(root)
+    cached = _digest_cache.get(key)
+    if cached is None:
         digest = hashlib.sha256()
-        for path in sorted(package_root.rglob("*.py")):
-            digest.update(str(path.relative_to(package_root)).encode())
+        for path in _digest_files(root):
+            digest.update(str(path.relative_to(root)).encode())
             digest.update(b"\x00")
             digest.update(path.read_bytes())
             digest.update(b"\x00")
-        _digest_cache = digest.hexdigest()
-    return _digest_cache
+        cached = _digest_cache[key] = digest.hexdigest()
+    return cached
 
 
 # ----------------------------------------------------------------------

@@ -109,6 +109,18 @@ def _capacity(arm: Dict[str, Any], seed: int = 1, **kwargs: Any):
     return run_capacity_experiment(CapacityArm(**arm), seed=seed, **kwargs)
 
 
+@scenario("soak_case")
+def _soak_case(case: Dict[str, Any], seed: Optional[int] = None):
+    """One randomized soak run under the invariant-checker suite.
+
+    The case dict already carries its derived seed; the engine-level
+    ``seed`` is unused and accepted only for uniformity.
+    """
+    del seed
+    from repro.check.soak import run_soak_case
+    return run_soak_case(case)
+
+
 @scenario("ablation_ecn")
 def _ablation_ecn(use_red: bool, seed: Optional[int] = None):
     del seed  # the arm's RED RNG is internally fixed

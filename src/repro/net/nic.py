@@ -98,9 +98,14 @@ class Nic:
         return chosen if chosen is not None else self.interfaces[0]
 
     def receive(self, packet: Packet, ingress: Interface) -> None:
+        tracer = self.kernel.tracer
         if packet.dst != self.host.name:
             # Hosts do not forward.
             self.undeliverable += 1
+            if tracer is not None:
+                tracer.instant("net", "nic.undeliverable", host=self.name,
+                               flow=packet.flow_id,
+                               packet=packet.packet_id, reason="transit")
             return
         if packet.protocol is Protocol.RSVP and self.rsvp_agent is not None:
             self.rsvp_agent.handle_local(packet, ingress)
@@ -108,8 +113,15 @@ class Nic:
         receiver = self._bindings.get((packet.protocol, packet.dst_port))
         if receiver is None:
             self.undeliverable += 1
+            if tracer is not None:
+                tracer.instant("net", "nic.undeliverable", host=self.name,
+                               flow=packet.flow_id,
+                               packet=packet.packet_id, reason="unbound")
             return
         self.delivered += 1
+        if tracer is not None:
+            tracer.instant("net", "nic.deliver", host=self.name,
+                           flow=packet.flow_id, packet=packet.packet_id)
         receiver(packet)
 
     # ------------------------------------------------------------------

@@ -27,6 +27,7 @@ from collections import deque
 from typing import Callable, Dict, Optional
 
 from repro.sim.kernel import Kernel
+from repro.sim.quantize import clamp
 from repro.net.diffserv import PhbClass, classify, drop_precedence
 from repro.net.packet import Packet
 
@@ -37,6 +38,11 @@ class TokenBucket:
     Tokens are *bytes*; they accrue at ``rate_bps / 8`` per second up to
     ``depth_bytes``.  A packet conforms if the bucket currently holds at
     least its size.
+
+    The stored token count satisfies ``0 <= _tokens <= depth_bytes`` at
+    all times (the :mod:`repro.sim.quantize` policy): refill and
+    consumption both clamp, so float accumulation across millions of
+    refills can never drift the bucket outside its documented range.
     """
 
     def __init__(self, kernel: Kernel, rate_bps: float, depth_bytes: int) -> None:
@@ -54,8 +60,9 @@ class TokenBucket:
         now = self._kernel.now
         elapsed = now - self._last_update
         if elapsed > 0:
-            self._tokens = min(
-                self.depth_bytes, self._tokens + elapsed * self.rate_bps / 8.0
+            self._tokens = clamp(
+                self._tokens + elapsed * self.rate_bps / 8.0,
+                0.0, self.depth_bytes,
             )
             self._last_update = now
 
@@ -68,7 +75,7 @@ class TokenBucket:
         """Consume ``nbytes`` tokens if available; returns conformance."""
         self._refill()
         if self._tokens >= nbytes:
-            self._tokens -= nbytes
+            self._tokens = clamp(self._tokens - nbytes, 0.0, self.depth_bytes)
             return True
         return False
 
@@ -233,6 +240,11 @@ class GuaranteedRateQueue(QueueDiscipline):
         self._reserved: deque = deque()
         self.reserved_capacity = int(reserved_capacity)
         self._base = DiffServQueue(band_capacity=band_capacity)
+        # Base-queue drops (demotion-then-overflow) are folded into this
+        # queue's books through the base's own on_drop hook, so every
+        # drop increments drops_by_flow and fires self.on_drop exactly
+        # once, whichever internal path rejected the packet.
+        self._base.on_drop = self._mirror_base_drop
         self._buckets: Dict[str, TokenBucket] = {}
         #: Packets that conformed to a reservation (observability).
         self.conformed = 0
@@ -253,6 +265,9 @@ class GuaranteedRateQueue(QueueDiscipline):
         return dict(self._buckets)
 
     # -- discipline -------------------------------------------------------
+    def _mirror_base_drop(self, packet: Packet) -> None:
+        self._drop(packet)
+
     def enqueue(self, packet: Packet) -> bool:
         bucket = self._buckets.get(packet.flow_id)
         if bucket is not None and bucket.try_consume(packet.size_bytes):
@@ -266,8 +281,8 @@ class GuaranteedRateQueue(QueueDiscipline):
         accepted = self._base.enqueue(packet)
         if accepted:
             return self._accept(packet)
-        # Mirror the inner drop into our own accounting.
-        return self._drop(packet)
+        # The base rejected it; its drop already mirrored into our books.
+        return False
 
     def dequeue(self) -> Optional[Packet]:
         if self._reserved:

@@ -138,6 +138,9 @@ class CPU:
         """
         if work_seconds < 0:
             raise ValueError(f"negative work: {work_seconds}")
+        if thread.state is ThreadState.DEAD:
+            raise ValueError(
+                f"cannot submit work to dead thread {thread.name!r}")
         request = WorkRequest(self.kernel, thread, work_seconds)
         tracer = self.kernel.tracer
         if tracer is not None:
@@ -179,6 +182,37 @@ class CPU:
         """Move ``thread`` to the dynamic-key (reserved) working set."""
         if thread not in self._reserved_threads:
             self._reserved_threads.append(thread)
+
+    def on_thread_killed(self, thread: SimThread) -> None:
+        """Tear ``thread`` out of every dispatch structure.
+
+        Called from :meth:`SimThread.kill`.  The lazy ready-heap keeps
+        stale entries by design; killing must therefore invalidate the
+        thread's ready episode (``_ready_order``) *and* leave no pending
+        work, so the staleness checks in :meth:`_dispatch` reject any
+        leftover heap entry before it can run a dead thread.
+        """
+        if thread.state is ThreadState.DEAD:
+            return
+        if thread is self._current:
+            # Settle the books for the partial slice and cancel the
+            # armed completion event before tearing the thread down.
+            self._charge_current()
+        queue = self._queues[thread.tid]
+        abandoned = len(queue)
+        queue.clear()
+        self._ready_order.pop(thread.tid, None)
+        reserve = thread.reserve
+        if reserve is not None:
+            # Releases the admitted utilization; with the queue already
+            # drained the detach hook re-inserts nothing.
+            reserve.cancel()
+        thread.state = ThreadState.DEAD
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.instant("os", "thread.kill", cpu=self.name,
+                           thread=thread.name, abandoned=abandoned)
+        self.reschedule()
 
     def on_reserve_detached(self, thread: SimThread) -> None:
         """Return ``thread`` to the static-key heap after a cancel."""

@@ -36,6 +36,7 @@ import math
 from typing import List, Optional
 
 from repro.sim.kernel import Kernel, ScheduledEvent
+from repro.sim.quantize import EPSILON, clamp
 from repro.oskernel.cpu import CPU
 from repro.oskernel.thread import SimThread, ThreadState
 
@@ -63,8 +64,10 @@ class Reserve:
 
     #: Budget below one simulated nanosecond counts as depleted; float
     #: rounding in time subtraction otherwise leaves denormal remainders
-    #: that would schedule zero-length CPU slices forever.
-    budget_epsilon = 1e-9
+    #: that would schedule zero-length CPU slices forever.  Shared with
+    #: the token-bucket layer via :mod:`repro.sim.quantize` so every
+    #: budget accumulator in the stack rounds the same way.
+    budget_epsilon = EPSILON
 
     def __init__(
         self,
@@ -158,7 +161,8 @@ class Reserve:
         CPU while charging the running thread.
         """
         self.consumed_total += cpu_seconds
-        self.budget_remaining = max(0.0, self.budget_remaining - cpu_seconds)
+        self.budget_remaining = clamp(
+            self.budget_remaining - cpu_seconds, 0.0, self.compute)
         if self.budget_remaining <= self.budget_epsilon:
             self.budget_remaining = 0.0
             tracer = self._kernel.tracer

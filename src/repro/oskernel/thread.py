@@ -26,6 +26,7 @@ class ThreadState(enum.Enum):
     READY = "ready"  # runnable, not on the CPU
     RUNNING = "running"
     SUSPENDED = "suspended"  # hard reserve depleted; waiting replenishment
+    DEAD = "dead"  # killed; never runnable again
 
 
 class SimThread:
@@ -71,6 +72,22 @@ class SimThread:
         self._priority = priority
         self.cpu.on_priority_change(self)
         self.cpu.reschedule()
+
+    @property
+    def alive(self) -> bool:
+        return self.state is not ThreadState.DEAD
+
+    def kill(self) -> None:
+        """Terminate the thread permanently.
+
+        Pending work is discarded, an attached reserve is cancelled
+        (releasing its admitted utilization), and the CPU's dispatch
+        structures are purged so a stale lazy-heap entry can never run
+        a dead thread.  Idempotent.
+        """
+        if self.state is ThreadState.DEAD:
+            return
+        self.cpu.on_thread_killed(self)
 
     def effective_priority(self, now: float) -> float:
         """Priority used by the scheduler at simulated time ``now``.

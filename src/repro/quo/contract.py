@@ -119,6 +119,18 @@ class Contract:
         self.transitions: List[Transition] = []
         #: Fired with each Transition.
         self.transitioned = Signal(kernel, name=f"contract.{name}")
+        # Re-entrancy guard: an on_enter/on_exit callback that sets a
+        # condition triggers observe -> evaluate while this evaluation
+        # is mid-transition.  Nested calls are deferred and replayed
+        # after the outer transition completes, keeping `transitions`
+        # in causal order (see _REEVALUATION_LIMIT).
+        self._evaluating = False
+        self._reevaluate = False
+
+    #: Deferred re-evaluations allowed per outer evaluate() before the
+    #: contract is declared livelocked (callbacks toggling a condition
+    #: back and forth would otherwise spin forever).
+    _REEVALUATION_LIMIT = 64
 
     # ------------------------------------------------------------------
     def attach(self, condition: SystemCondition) -> None:
@@ -141,7 +153,40 @@ class Contract:
 
     # ------------------------------------------------------------------
     def evaluate(self) -> str:
-        """Re-evaluate regions; runs callbacks on a region change."""
+        """Re-evaluate regions; runs callbacks on a region change.
+
+        Re-entrant calls (an ``on_enter``/``on_exit`` callback setting a
+        condition that observers turn back into ``evaluate()``) do not
+        recurse: the nested request is deferred until the in-flight
+        transition has fully committed, then replayed, so transition
+        records stay causally ordered and callbacks never nest.
+        """
+        if self._evaluating:
+            self._reevaluate = True
+            # The outer call replays after its transition commits; the
+            # region it lands on is the authoritative answer.
+            return self.current_region if self.current_region is not None \
+                else self.regions[-1].name
+        self._evaluating = True
+        try:
+            result = self._evaluate_once()
+            replays = 0
+            while self._reevaluate:
+                self._reevaluate = False
+                replays += 1
+                if replays > self._REEVALUATION_LIMIT:
+                    raise RuntimeError(
+                        f"contract {self.name!r}: region callbacks keep "
+                        f"re-triggering evaluation (> "
+                        f"{self._REEVALUATION_LIMIT} deferred replays); "
+                        "likely a condition-setting callback livelock")
+                result = self._evaluate_once()
+        finally:
+            self._evaluating = False
+            self._reevaluate = False
+        return result
+
+    def _evaluate_once(self) -> str:
         snapshot = self.snapshot()
         matched = None
         for region in self.regions:

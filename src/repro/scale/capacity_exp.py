@@ -220,8 +220,16 @@ def run_capacity_experiment(
     bottleneck_bps: float = BOTTLENECK_BPS,
     cross_traffic_bps: float = CROSS_TRAFFIC_BPS,
     deadline: float = DEADLINE,
+    fault_plan: Optional[Sequence[dict]] = None,
+    checks=None,
 ) -> CapacityResult:
-    """Run N concurrent streams through one arm's mechanisms."""
+    """Run N concurrent streams through one arm's mechanisms.
+
+    ``fault_plan`` optionally injects faults (dicts accepted by
+    :meth:`~repro.faults.plan.FaultPlan.from_dicts`) and ``checks``
+    optionally installs a :class:`~repro.check.invariants.CheckSuite`
+    over the run — both default off and leave the baseline byte-identical.
+    """
     if streams < 1:
         raise ValueError(f"need at least one stream, got {streams}")
     kernel = Kernel()
@@ -247,6 +255,13 @@ def run_capacity_experiment(
              qdisc_a=q("bottleneck"), qdisc_b=q("dst-out"))
     net.compute_routes()
     net.enable_intserv(utilization_bound=UTILIZATION_BOUND)
+
+    if fault_plan:
+        from repro.faults.injector import FaultInjector
+        from repro.faults.plan import FaultPlan
+        injector = FaultInjector(kernel, network=net,
+                                 rng=rng.stream("fault-injector"))
+        injector.install(FaultPlan.from_dicts(list(fault_plan)))
 
     # --- ORBs + A/V devices ------------------------------------------
     orbs = {name: Orb(kernel, hosts[name], net) for name in ("src", "dst")}
@@ -340,8 +355,16 @@ def run_capacity_experiment(
         result.measure_start = kernel.now
         clock.start()
 
+    if checks is not None:
+        from repro.check.world import World
+        checks.install(World(kernel, network=net,
+                             hosts=list(hosts.values()),
+                             admission=controller))
+
     Process(kernel, driver(), name="capacity-driver")
     kernel.run(until=duration)
+    if checks is not None:
+        checks.final_check()
     if len(senders) != n:
         raise RuntimeError(
             f"stream setup failed for arm {arm.name!r}: "

@@ -1,0 +1,41 @@
+"""Shared numeric policy for resource-accounting hot paths.
+
+Token buckets (:mod:`repro.net.queues`) and CPU reserves
+(:mod:`repro.oskernel.reserve`) both subtract consumption from a
+float budget across millions of small operations.  IEEE subtraction of
+``a - b`` with ``a >= b`` never goes negative, but *comparisons* against
+the budget accumulate representation error, so both layers used to carry
+their own ad-hoc epsilon.  This module is the single source of truth:
+
+``EPSILON``
+    One simulated nanosecond (or one nano-unit of whatever the budget
+    measures).  Residue at or below this is treated as exactly zero —
+    coarse enough that ``now + slice`` is always a representable later
+    float, fine enough that no real budget is ever confused with noise.
+
+``clamp``
+    Range-restrict a float accumulator so stored values satisfy their
+    documented interval invariant (``tokens in [0, depth]``,
+    ``budget in [0, compute]``) *exactly*, not just up to drift.
+"""
+
+from __future__ import annotations
+
+__all__ = ["EPSILON", "clamp", "is_zero"]
+
+#: The one epsilon for budget/token comparisons across the stack.
+EPSILON = 1e-9
+
+
+def clamp(value: float, lo: float, hi: float) -> float:
+    """Restrict ``value`` to ``[lo, hi]``."""
+    if value < lo:
+        return lo
+    if value > hi:
+        return hi
+    return value
+
+
+def is_zero(value: float) -> bool:
+    """True if ``value`` is indistinguishable from an exhausted budget."""
+    return value <= EPSILON

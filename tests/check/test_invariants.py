@@ -1,0 +1,489 @@
+"""Unit tests for the runtime invariant monitors.
+
+Each monitor is exercised twice: against synthetic trace streams and
+hand-corrupted object graphs (proving it *fires* on a violation), and
+inside a real capacity-farm run (proving a healthy simulation passes
+and that watching costs nothing — the checked run is byte-identical
+to the unchecked baseline).
+"""
+
+import pickle
+
+import pytest
+
+from repro.sim import Kernel
+from repro.oskernel import Host, SimThread, ThreadState
+from repro.net import (
+    Dscp,
+    FifoQueue,
+    GuaranteedRateQueue,
+    Network,
+    Packet,
+    Protocol,
+)
+from repro.obs.trace import TraceRecord, Tracer
+from repro.quo import Contract, Region, ValueSC
+from repro.check import (
+    CheckSuite,
+    ContractChecker,
+    InvariantViolation,
+    PacketConservationChecker,
+    QdiscAccountingChecker,
+    ReserveLedgerChecker,
+    ThreadStateChecker,
+    TimeMonotonicityChecker,
+    TokenBucketChecker,
+    World,
+    default_suite,
+)
+
+
+def rec(time, layer, kind, flow=None, **fields):
+    return TraceRecord(time, layer, kind, flow=flow, fields=fields or None)
+
+
+def bare_world():
+    return World(Kernel())
+
+
+def grq_world():
+    """A two-host network whose egress queues are GuaranteedRateQueues."""
+    kernel = Kernel()
+    net = Network(kernel, default_bandwidth_bps=1e6)
+    for name in ("a", "b"):
+        net.attach_host(Host(kernel, name))
+    net.link("a", "b",
+             qdisc_a=GuaranteedRateQueue(kernel, band_capacity=2),
+             qdisc_b=GuaranteedRateQueue(kernel, band_capacity=2))
+    net.compute_routes()
+    return kernel, net, World(kernel, network=net)
+
+
+class Bag:
+    """Attribute bag for stub object graphs."""
+
+    def __init__(self, **kw):
+        self.__dict__.update(kw)
+
+
+# ----------------------------------------------------------------------
+# Time monotonicity
+# ----------------------------------------------------------------------
+def test_time_monotonicity_catches_backwards_time():
+    checker = TimeMonotonicityChecker()
+    checker.attach(bare_world())
+    checker.on_event(rec(1.0, "net", "hop.enqueue"))
+    with pytest.raises(InvariantViolation) as err:
+        checker.on_event(rec(0.5, "net", "hop.drop"))
+    assert err.value.checker == "time-monotonic"
+    assert err.value.context["previous_time"] == 1.0
+
+
+def test_time_monotonicity_final_check_against_kernel_clock():
+    checker = TimeMonotonicityChecker()
+    checker.attach(bare_world())  # kernel.now stays 0.0
+    checker.on_event(rec(5.0, "os", "cpu.dispatch"))
+    with pytest.raises(InvariantViolation, match="kernel clock ended"):
+        checker.final_check()
+
+
+def test_time_monotonicity_accepts_equal_times():
+    checker = TimeMonotonicityChecker()
+    checker.attach(bare_world())
+    checker.on_event(rec(0.0, "net", "hop.enqueue"))
+    checker.on_event(rec(0.0, "net", "hop.dequeue"))
+    checker.final_check()
+
+
+# ----------------------------------------------------------------------
+# Qdisc accounting
+# ----------------------------------------------------------------------
+def fifo_world():
+    kernel = Kernel()
+    net = Network(kernel, default_bandwidth_bps=1e6)
+    for name in ("a", "b"):
+        net.attach_host(Host(kernel, name))
+    net.link("a", "b", qdisc_a=FifoQueue(capacity=4),
+             qdisc_b=FifoQueue(capacity=4))
+    net.compute_routes()
+    return kernel, net, World(kernel, network=net)
+
+
+def test_qdisc_accounting_passes_on_honest_books():
+    _, _, world = fifo_world()
+    checker = QdiscAccountingChecker()
+    checker.attach(world)
+    checker.final_check()
+
+
+def test_qdisc_accounting_catches_corrupt_length_books():
+    _, _, world = fifo_world()
+    checker = QdiscAccountingChecker()
+    checker.attach(world)
+    label, qdisc = next(iter(world.qdiscs().items()))
+    qdisc.enqueued += 1  # phantom packet: counted but never stored
+    with pytest.raises(InvariantViolation, match="length disagrees"):
+        checker.on_event(rec(0.0, "net", "hop.enqueue", flow="f",
+                             iface=label, packet=1))
+
+
+def test_qdisc_accounting_catches_flow_ledger_mismatch():
+    _, _, world = fifo_world()
+    checker = QdiscAccountingChecker()
+    checker.attach(world)
+    qdisc = next(iter(world.qdiscs().values()))
+    qdisc.dropped += 1  # drop not attributed to any flow
+    with pytest.raises(InvariantViolation, match="per-flow drop ledger"):
+        checker.final_check()
+
+
+def test_qdisc_accounting_catches_unmirrored_base_drop():
+    """The exact bug class the drop-mirroring fix closed: the inner
+    DiffServ base rejects a demoted packet but the outer queue's books
+    never hear about it."""
+    _, _, world = grq_world()
+    checker = QdiscAccountingChecker()
+    checker.attach(world)
+    qdisc = next(iter(world.qdiscs().values()))
+    qdisc._base.on_drop = None  # sever the mirror
+    for _ in range(4):  # band capacity 2: two accepted, two base drops
+        qdisc.enqueue(Packet(src="a", dst="b", src_port=1, dst_port=2,
+                             protocol=Protocol.UDP, payload_bytes=500,
+                             dscp=Dscp.BE))
+    assert qdisc._base.dropped > qdisc.dropped  # the corruption
+    with pytest.raises(InvariantViolation, match="not mirrored"):
+        checker.final_check()
+
+
+# ----------------------------------------------------------------------
+# Token buckets
+# ----------------------------------------------------------------------
+def test_token_bucket_checker_catches_out_of_range_tokens():
+    _, _, world = grq_world()
+    checker = TokenBucketChecker()
+    checker.attach(world)
+    label, qdisc = next(iter(world.qdiscs().items()))
+    qdisc.install_reservation("a:1->b:2", rate_bps=1e5, depth_bytes=1000)
+    checker.final_check()  # fresh bucket: full, in range
+    bucket = qdisc._buckets["a:1->b:2"]
+    bucket._tokens = bucket.depth_bytes + 64.0
+    with pytest.raises(InvariantViolation, match="escaped"):
+        checker.on_event(rec(0.0, "net", "hop.enqueue", flow="a:1->b:2",
+                             iface=label, packet=1))
+    bucket._tokens = -1.0
+    with pytest.raises(InvariantViolation, match="escaped"):
+        checker.final_check()
+
+
+# ----------------------------------------------------------------------
+# Reserve and RSVP ledgers
+# ----------------------------------------------------------------------
+def test_reserve_ledger_passes_within_bound():
+    kernel = Kernel()
+    host = Host(kernel, "h")
+    world = World(kernel, hosts=[host])
+    thread = SimThread(host.cpu, priority=1)
+    host.reserve_manager.request(thread, compute=0.4, period=1.0)
+    checker = ReserveLedgerChecker()
+    checker.attach(world)
+    checker.final_check()
+
+
+def test_reserve_ledger_catches_budget_escape():
+    kernel = Kernel()
+    host = Host(kernel, "h")
+    world = World(kernel, hosts=[host])
+    thread = SimThread(host.cpu, priority=1)
+    reserve = host.reserve_manager.request(thread, compute=0.4, period=1.0)
+    reserve.budget_remaining = -0.25
+    checker = ReserveLedgerChecker()
+    checker.attach(world)
+    with pytest.raises(InvariantViolation, match=r"escaped \[0, C\]"):
+        checker.on_event(rec(0.0, "os", "reserve.deplete"))
+
+
+def test_reserve_ledger_catches_overcommitted_utilization():
+    kernel = Kernel()
+    host = Host(kernel, "h")
+    world = World(kernel, hosts=[host])
+    thread = SimThread(host.cpu, priority=1)
+    reserve = host.reserve_manager.request(thread, compute=0.4, period=1.0)
+    reserve.compute = 40.0  # admitted books now claim 40x the period
+    reserve.budget_remaining = 40.0
+    checker = ReserveLedgerChecker()
+    checker.attach(world)
+    with pytest.raises(InvariantViolation, match="exceeds the bound"):
+        checker.final_check()
+
+
+def test_rsvp_ledger_catches_oversubscribed_link():
+    world = bare_world()
+    iface = Bag(owner=Bag(name="router"), name="router->dst",
+                link=Bag(bandwidth_bps=1e6))
+    agent = Bag(utilization_bound=0.9, _reserved={iface: {"f:1->d:2": 2e6}})
+    world.rsvp_agents = lambda: [agent]
+    checker = ReserveLedgerChecker()
+    checker.attach(world)
+    with pytest.raises(InvariantViolation, match="exceed the link budget"):
+        checker.final_check()
+
+
+def test_rsvp_ledger_catches_non_positive_rate():
+    world = bare_world()
+    iface = Bag(owner=Bag(name="router"), name="router->dst",
+                link=Bag(bandwidth_bps=1e6))
+    agent = Bag(utilization_bound=0.9, _reserved={iface: {"f:1->d:2": 0.0}})
+    world.rsvp_agents = lambda: [agent]
+    checker = ReserveLedgerChecker()
+    checker.attach(world)
+    with pytest.raises(InvariantViolation, match="non-positive"):
+        checker.on_event(rec(0.0, "net", "rsvp.expire"))
+
+
+# ----------------------------------------------------------------------
+# Packet conservation
+# ----------------------------------------------------------------------
+def conservation_checker():
+    checker = PacketConservationChecker()
+    checker.attach(bare_world())  # no network: zero physical queues
+    return checker
+
+
+def test_conservation_accepts_a_full_legal_lifecycle():
+    checker = conservation_checker()
+    checker.on_event(rec(0.0, "net", "hop.enqueue", flow="f", packet=1))
+    checker.on_event(rec(0.1, "net", "hop.dequeue", flow="f", packet=1))
+    checker.on_event(rec(0.2, "net", "hop.rx", flow="f", packet=1))
+    checker.on_event(rec(0.2, "net", "route.forward", flow="f", packet=1))
+    checker.on_event(rec(0.2, "net", "hop.enqueue", flow="f", packet=1))
+    checker.on_event(rec(0.3, "net", "hop.dequeue", flow="f", packet=1))
+    checker.on_event(rec(0.4, "net", "hop.rx", flow="f", packet=1))
+    checker.on_event(rec(0.4, "net", "nic.deliver", flow="f", packet=1))
+    checker.final_check()
+    assert checker.tracked == 1
+
+
+def test_conservation_catches_dequeue_of_unqueued_packet():
+    checker = conservation_checker()
+    with pytest.raises(InvariantViolation, match="illegal packet"):
+        checker.on_event(rec(0.0, "net", "hop.dequeue", flow="f", packet=7))
+
+
+def test_conservation_catches_double_delivery():
+    checker = conservation_checker()
+    checker.on_event(rec(0.0, "net", "nic.deliver", flow="f", packet=3))
+    with pytest.raises(InvariantViolation, match="resurrected"):
+        checker.on_event(rec(0.1, "net", "nic.deliver", flow="f", packet=3))
+
+
+def test_conservation_catches_forwarding_a_wire_packet():
+    checker = conservation_checker()
+    checker.on_event(rec(0.0, "net", "hop.enqueue", flow="f", packet=5))
+    checker.on_event(rec(0.1, "net", "hop.dequeue", flow="f", packet=5))
+    with pytest.raises(InvariantViolation, match="not held by a device"):
+        checker.on_event(rec(0.1, "net", "route.forward", flow="f",
+                             packet=5))
+
+
+def test_conservation_catches_silent_device_consumption():
+    checker = conservation_checker()
+    checker.on_event(rec(0.0, "net", "hop.enqueue", flow="f", packet=9))
+    checker.on_event(rec(0.1, "net", "hop.dequeue", flow="f", packet=9))
+    checker.on_event(rec(0.2, "net", "hop.rx", flow="f", packet=9))
+    with pytest.raises(InvariantViolation, match="never delivered"):
+        checker.final_check()
+
+
+def test_conservation_catches_phantom_queued_packet():
+    checker = conservation_checker()
+    checker.on_event(rec(0.0, "net", "hop.enqueue", flow="f", packet=2))
+    # The world has no queues, so a tracked-queued packet is physically
+    # impossible — the teardown bound must notice.
+    with pytest.raises(InvariantViolation, match="than the queues hold"):
+        checker.final_check()
+
+
+def test_conservation_ignores_rsvp_signaling():
+    checker = conservation_checker()
+    checker.on_event(rec(0.0, "net", "hop.dequeue", flow="rsvp:path",
+                         packet=1))
+    checker.final_check()
+    assert checker.tracked == 0
+
+
+# ----------------------------------------------------------------------
+# Contracts
+# ----------------------------------------------------------------------
+def test_contract_checker_accepts_causal_chain():
+    checker = ContractChecker()
+    checker.attach(bare_world())
+    checker.on_event(rec(0.0, "quo", "region.transition", contract="c",
+                         from_region=None, to_region="a"))
+    checker.on_event(rec(1.0, "quo", "region.transition", contract="c",
+                         from_region="a", to_region="b"))
+    checker.final_check()
+
+
+def test_contract_checker_catches_broken_chain():
+    checker = ContractChecker()
+    checker.attach(bare_world())
+    checker.on_event(rec(0.0, "quo", "region.transition", contract="c",
+                         from_region=None, to_region="a"))
+    with pytest.raises(InvariantViolation, match="chain broken"):
+        checker.on_event(rec(1.0, "quo", "region.transition", contract="c",
+                             from_region="b", to_region="c"))
+
+
+def test_contract_checker_catches_self_transition():
+    checker = ContractChecker()
+    checker.attach(bare_world())
+    with pytest.raises(InvariantViolation, match="self-transition"):
+        checker.on_event(rec(0.0, "quo", "region.transition", contract="c",
+                             from_region="a", to_region="a"))
+
+
+def test_contract_checker_final_checks_registered_contracts():
+    kernel = Kernel()
+    contract = Contract(kernel, "demo", regions=[
+        Region("hot", lambda s: s["load"] > 0.5), Region("cool")])
+    load = ValueSC(kernel, "load", initial=0.0)
+    contract.attach(load)
+    contract.evaluate()
+    world = World(kernel, contracts=[contract])
+    checker = ContractChecker()
+    checker.attach(world)
+    checker.final_check()  # healthy contract passes
+    contract._evaluating = True
+    with pytest.raises(InvariantViolation, match="mid-evaluation"):
+        checker.final_check()
+
+
+# ----------------------------------------------------------------------
+# Thread state
+# ----------------------------------------------------------------------
+def test_thread_state_passes_on_healthy_scheduler():
+    kernel = Kernel()
+    host = Host(kernel, "h")
+    world = World(kernel, hosts=[host])
+    thread = SimThread(host.cpu, priority=1)
+    host.cpu.submit(thread, 0.5)
+    kernel.run()
+    checker = ThreadStateChecker()
+    checker.attach(world)
+    checker.final_check()
+
+
+def test_thread_state_catches_dead_thread_with_queued_work():
+    kernel = Kernel()
+    host = Host(kernel, "h")
+    world = World(kernel, hosts=[host])
+    blocker = SimThread(host.cpu, priority=9, name="blocker")
+    victim = SimThread(host.cpu, priority=1, name="victim")
+    host.cpu.submit(blocker, 10.0)
+    host.cpu.submit(victim, 1.0)
+    # Corrupt directly (kill() would correctly drain the queue): a dead
+    # thread whose work queue survived is exactly the lazy-heap
+    # staleness bug the kill path now prevents.
+    victim.state = ThreadState.DEAD
+    checker = ThreadStateChecker()
+    checker.attach(world)
+    with pytest.raises(InvariantViolation, match="queued work"):
+        checker.on_event(rec(0.0, "os", "thread.kill"))
+
+
+def test_thread_state_catches_running_non_current_thread():
+    kernel = Kernel()
+    host = Host(kernel, "h")
+    world = World(kernel, hosts=[host])
+    thread = SimThread(host.cpu, priority=1)
+    thread.state = ThreadState.RUNNING  # claims the CPU it doesn't hold
+    checker = ThreadStateChecker()
+    checker.attach(world)
+    with pytest.raises(InvariantViolation, match="not the CPU's current"):
+        checker.final_check()
+
+
+# ----------------------------------------------------------------------
+# Suite wiring
+# ----------------------------------------------------------------------
+def test_suite_attaches_and_detaches_private_tracer():
+    world = bare_world()
+    suite = default_suite()
+    assert world.kernel.tracer is None
+    suite.install(world)
+    assert world.kernel.tracer is not None
+    suite.uninstall()
+    assert world.kernel.tracer is None
+
+
+def test_suite_reuses_existing_tracer_as_extra_sink():
+    world = bare_world()
+    tracer = Tracer(sinks=[]).attach(world.kernel)
+    suite = default_suite().install(world)
+    assert world.kernel.tracer is tracer
+    assert suite in tracer.sinks
+    suite.uninstall()
+    assert suite not in tracer.sinks
+    assert world.kernel.tracer is tracer  # not ours to detach
+
+
+def test_suite_fans_out_by_layer():
+    world = bare_world()
+    qdisc_only = QdiscAccountingChecker()
+    suite = CheckSuite([qdisc_only]).install(world)
+    suite.emit(rec(0.0, "quo", "region.transition", contract="c",
+                   from_region=None, to_region="a"))
+    assert qdisc_only.events_seen == 0  # quo never reaches a net checker
+    suite.emit(rec(0.0, "net", "hop.enqueue", flow="f", iface="?", packet=1))
+    assert qdisc_only.events_seen == 1
+    assert suite.events_dispatched == 1
+
+
+def test_suite_propagates_violations_fail_fast():
+    world = bare_world()
+    suite = CheckSuite([TimeMonotonicityChecker()]).install(world)
+    suite.emit(rec(1.0, "net", "hop.enqueue"))
+    with pytest.raises(InvariantViolation):
+        suite.emit(rec(0.0, "net", "hop.drop"))
+
+
+def test_default_suite_has_every_monitor():
+    suite = default_suite()
+    names = {checker.name for checker in suite.checkers}
+    assert names == {
+        "time-monotonic", "qdisc-accounting", "token-bucket",
+        "reserve-ledger", "packet-conservation", "contract",
+        "thread-state",
+    }
+    assert len(suite.checkers) == len(names)
+
+
+# ----------------------------------------------------------------------
+# Integration: a real run under the full suite
+# ----------------------------------------------------------------------
+def small_capacity_run(checks=None, fault_plan=None):
+    from repro.scale.capacity_exp import all_arms, run_capacity_experiment
+    arm = next(a for a in all_arms() if a.name == "adaptive")
+    return run_capacity_experiment(arm, streams=3, duration=2.0, seed=7,
+                                   fault_plan=fault_plan, checks=checks)
+
+
+def test_healthy_run_passes_and_is_byte_identical():
+    baseline = small_capacity_run()
+    suite = default_suite()
+    checked = small_capacity_run(checks=suite)
+    assert suite.events_dispatched > 0
+    assert checked.events_executed == baseline.events_executed
+    assert pickle.dumps(checked) == pickle.dumps(baseline)
+
+
+def test_faulted_run_still_satisfies_every_invariant():
+    suite = default_suite()
+    result = small_capacity_run(checks=suite, fault_plan=[
+        {"kind": "link_flap", "link": ["router", "dst"],
+         "at": 0.6, "duration": 0.4},
+        {"kind": "loss_burst", "link": ["src", "router"],
+         "at": 1.0, "duration": 0.5, "loss": 0.5},
+    ])
+    assert result.events_executed > 0
+    assert suite.events_dispatched > 0

@@ -1,0 +1,177 @@
+"""Tests for the randomized soak harness.
+
+The load-bearing properties: case generation is a pure function of
+``(root_seed, index)``; verdicts are identical at any worker count; a
+deliberately re-introduced accounting bug is caught, shrunk to a
+smaller reproducer, and reported with a working replay command.
+"""
+
+import json
+
+import pytest
+
+from repro.net.queues import GuaranteedRateQueue
+from repro.check import (
+    generate_case,
+    generate_cases,
+    replay_command,
+    run_soak,
+    run_soak_case,
+    shrink_case,
+)
+from repro.check.soak import ARMS
+
+
+# ----------------------------------------------------------------------
+# Case generation
+# ----------------------------------------------------------------------
+def test_case_generation_is_pure_in_seed_and_index():
+    assert generate_case(42, 3) == generate_case(42, 3)
+    assert generate_case(42, 3) != generate_case(42, 4)
+    assert generate_case(42, 3) != generate_case(43, 3)
+
+
+def test_cases_are_json_able_and_well_formed():
+    for case in generate_cases(7, 8, duration=2.0, max_streams=4):
+        assert case == json.loads(json.dumps(case))
+        assert case["arm"] in ARMS
+        assert 1 <= case["streams"] <= 4
+        assert case["duration"] == 2.0
+        for fault in case["faults"]:
+            assert fault["kind"] in ("link_flap", "loss_burst",
+                                     "link_degrade", "node_crash")
+            assert fault["at"] >= 0.5
+
+
+def test_generate_cases_indexes_sequentially():
+    cases = generate_cases(7, 5)
+    assert [case["index"] for case in cases] == list(range(5))
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def test_clean_case_verdict_is_ok_and_informative():
+    case = generate_case(1, 0, duration=1.0, max_streams=3)
+    verdict = run_soak_case(case)
+    assert verdict["ok"], verdict
+    assert verdict["events"] > 0
+    assert verdict["checked"] > 0
+    assert verdict["sent"] >= verdict["delivered"] >= 0
+    assert verdict["case"] == case
+
+
+def test_crash_is_reported_not_raised():
+    case = generate_case(1, 0, duration=1.0, max_streams=3)
+    verdict = run_soak_case({**case, "arm": "no-such-arm"})
+    assert not verdict["ok"]
+    assert verdict["failure"] == "crash"
+    assert verdict["checker"] is None
+
+
+def test_soak_report_is_independent_of_jobs():
+    kwargs = dict(root_seed=11, runs=4, duration=1.0, max_streams=3,
+                  shrink=False)
+    serial = run_soak(jobs=1, **kwargs)
+    parallel = run_soak(jobs=4, **kwargs)
+    assert serial == parallel
+    assert serial["ok"]
+    assert serial["runs"] == 4
+    assert serial["events"] > 0
+
+
+# ----------------------------------------------------------------------
+# The acceptance gate: a re-introduced accounting bug must be caught
+# ----------------------------------------------------------------------
+def _congested_case(faults=()):
+    """A case that exercises demotion-then-overflow in the bottleneck."""
+    case = generate_case(5, 0, duration=2.0, max_streams=8)
+    case.update(arm="best-effort", streams=6, bottleneck_bps=6e6,
+                cross_traffic_bps=4e6, faults=list(faults))
+    return case
+
+
+def _reintroduce_drop_bug(monkeypatch):
+    """Undo the exactly-once drop-accounting fix: base drops vanish."""
+    monkeypatch.setattr(GuaranteedRateQueue, "_mirror_base_drop",
+                        lambda self, packet: None)
+
+
+def test_reintroduced_drop_bug_is_caught(monkeypatch):
+    case = _congested_case()
+    assert run_soak_case(case)["ok"]  # healthy code: clean
+    _reintroduce_drop_bug(monkeypatch)
+    verdict = run_soak_case(case)
+    assert not verdict["ok"]
+    assert verdict["failure"] == "invariant"
+    assert verdict["checker"] == "qdisc-accounting"
+    assert "not mirrored" in verdict["message"]
+
+
+def test_shrink_reduces_the_failing_case(monkeypatch):
+    _reintroduce_drop_bug(monkeypatch)
+    case = _congested_case(faults=[
+        {"kind": "link_flap", "link": ["src", "router"],
+         "at": 0.6, "duration": 0.4},
+        {"kind": "loss_burst", "link": ["router", "dst"],
+         "at": 1.0, "duration": 0.5, "loss": 0.3},
+    ])
+    shrunk, spent = shrink_case(case, budget=12)
+    assert 0 < spent <= 12
+    # The faults are irrelevant to this bug, so shrinking sheds them.
+    assert shrunk["faults"] == []
+    assert shrunk["streams"] <= case["streams"]
+    assert not run_soak_case(shrunk)["ok"]  # still a reproducer
+
+
+def test_shrink_keeps_the_original_when_nothing_smaller_fails():
+    case = generate_case(1, 0, duration=1.0, max_streams=2)
+    calls = []
+
+    def always_passes(candidate):
+        calls.append(candidate)
+        return {"ok": True}
+
+    shrunk, spent = shrink_case(case, budget=5, run=always_passes)
+    assert shrunk == case
+    assert spent == len(calls) <= 5
+
+
+def test_soak_driver_reports_shrunk_failure_with_replay(monkeypatch):
+    _reintroduce_drop_bug(monkeypatch)
+    failing = _congested_case()
+
+    def one_bad_case(root_seed, runs, duration, max_streams):
+        return [failing]
+
+    monkeypatch.setattr("repro.check.soak.generate_cases", one_bad_case)
+    lines = []
+    report = run_soak(root_seed=5, runs=1, jobs=1, shrink_budget=8,
+                      emit=lines.append)
+    assert not report["ok"]
+    (entry,) = report["failures"]
+    assert entry["checker"] == "qdisc-accounting"
+    assert entry["shrunk"]["streams"] <= failing["streams"]
+    assert entry["replay"] == replay_command(entry["shrunk"])
+    assert any("FAILED" in line for line in lines)
+    assert any("replay with:" in line for line in lines)
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+def test_replay_command_round_trips_the_case():
+    case = generate_case(3, 1)
+    command = replay_command(case)
+    assert command.startswith("repro soak --replay '")
+    payload = command.split("--replay ", 1)[1].strip("'")
+    assert json.loads(payload) == case
+
+
+def test_replayed_case_reproduces_the_verdict(monkeypatch):
+    _reintroduce_drop_bug(monkeypatch)
+    case = _congested_case()
+    payload = replay_command(case).split("--replay ", 1)[1].strip("'")
+    verdict = run_soak_case(json.loads(payload))
+    assert not verdict["ok"]
+    assert verdict["checker"] == "qdisc-accounting"

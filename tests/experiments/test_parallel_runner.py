@@ -233,3 +233,74 @@ def test_source_digest_changes_with_source(tmp_path, monkeypatch):
     a = ResultCache.key_for(SPEC, "digest-a")
     b = ResultCache.key_for(SPEC, "digest-b")
     assert a != b
+
+
+# ----------------------------------------------------------------------
+# Source-tree digest: the whole package, not just imported .py files
+# ----------------------------------------------------------------------
+def _make_pkg(tmp_path):
+    root = tmp_path / "pkg"
+    root.mkdir()
+    (root / "__init__.py").write_text("")
+    (root / "core.py").write_text("VALUE = 1\n")
+    return root
+
+
+def _fresh_digest(root):
+    """The digest as a fresh process would compute it.
+
+    ``source_tree_digest`` memoizes per root for the life of the
+    process (sources can't change under a running experiment), so tests
+    that mutate the tree must drop the memo between computations.
+    """
+    import repro.experiments.runner as runner_mod
+    runner_mod._digest_cache.pop(str(root), None)
+    return source_tree_digest(root)
+
+
+def test_digest_sees_a_brand_new_module(tmp_path):
+    """Regression: the digest used to enumerate only modules already
+    imported, so adding a file left stale cache entries valid."""
+    root = _make_pkg(tmp_path)
+    before = _fresh_digest(root)
+    (root / "new_subsystem.py").write_text("NEW = True\n")
+    assert _fresh_digest(root) != before
+
+
+def test_digest_sees_non_python_inputs(tmp_path):
+    root = _make_pkg(tmp_path)
+    before = _fresh_digest(root)
+    (root / "table.csv").write_text("a,b\n1,2\n")
+    with_data = _fresh_digest(root)
+    assert with_data != before
+    sub = root / "sub"
+    sub.mkdir()
+    (sub / "mod.py").write_text("X = 3\n")  # new subpackage, no __init__
+    assert _fresh_digest(root) != with_data
+
+
+def test_digest_ignores_bytecode_and_hidden_files(tmp_path):
+    root = _make_pkg(tmp_path)
+    before = _fresh_digest(root)
+    cache_dir = root / "__pycache__"
+    cache_dir.mkdir()
+    (cache_dir / "core.cpython-312.pyc").write_bytes(b"\x00magic")
+    (root / "core.pyo").write_bytes(b"\x00magic")
+    (root / ".hidden").write_text("scratch")
+    hidden_dir = root / ".scratch"
+    hidden_dir.mkdir()
+    (hidden_dir / "notes.py").write_text("IGNORED = 1\n")
+    assert _fresh_digest(root) == before
+
+
+def test_new_module_invalidates_the_cache(tmp_path):
+    """End to end: adding a module to the watched tree must produce a
+    cache miss even for an identical spec."""
+    root = _make_pkg(tmp_path)
+    first = _runner(tmp_path, source_digest=_fresh_digest(root)).run_one(SPEC)
+    assert not first.cached
+    warm = _runner(tmp_path, source_digest=_fresh_digest(root)).run_one(SPEC)
+    assert warm.cached
+    (root / "added_later.py").write_text("ADDED = True\n")
+    cold = _runner(tmp_path, source_digest=_fresh_digest(root)).run_one(SPEC)
+    assert not cold.cached

@@ -162,3 +162,71 @@ def test_context_switch_counting():
     kernel.run()
     # low -> high -> low: three dispatch changes.
     assert cpu.context_switches == 3
+
+
+# ----------------------------------------------------------------------
+# Thread kill: the lazy ready-heap must never run a dead thread
+# ----------------------------------------------------------------------
+def test_kill_enqueued_thread_never_runs():
+    """Regression: a READY thread killed while its entry sat in the lazy
+    ready-heap used to be dispatchable from the stale entry.  The kill
+    path must invalidate the ready episode and drain the work queue."""
+    kernel, cpu = make_cpu()
+    runner = SimThread(cpu, priority=10, name="runner")
+    victim = SimThread(cpu, priority=5, name="victim")
+    cpu.submit(runner, 1.0)
+    request = cpu.submit(victim, 1.0)  # queued behind the runner
+    kernel.schedule(0.5, victim.kill)  # dies while still enqueued
+    kernel.run()
+    assert victim.state == ThreadState.DEAD
+    assert victim.cpu_time == 0.0  # never dispatched
+    assert request.completed_at is None
+    assert cpu.queue_depth(victim) == 0
+    assert kernel.now == pytest.approx(1.0)  # only the runner's work ran
+
+
+def test_kill_running_thread_charges_partial_slice():
+    kernel, cpu = make_cpu()
+    hog = SimThread(cpu, priority=10, name="hog")
+    low = SimThread(cpu, priority=1, name="low")
+    cpu.submit(hog, 2.0)
+    r_low = cpu.submit(low, 1.0)
+    kernel.schedule(0.5, hog.kill)
+    kernel.run()
+    assert hog.state == ThreadState.DEAD
+    assert hog.cpu_time == pytest.approx(0.5)  # the slice it actually held
+    # The CPU is released immediately to the lower-priority work.
+    assert r_low.completed_at == pytest.approx(1.5)
+
+
+def test_submit_to_dead_thread_rejected():
+    kernel, cpu = make_cpu()
+    t = SimThread(cpu, priority=5, name="t")
+    t.kill()
+    with pytest.raises(ValueError, match="dead thread"):
+        cpu.submit(t, 1.0)
+
+
+def test_kill_is_idempotent():
+    kernel, cpu = make_cpu()
+    t = SimThread(cpu, priority=5)
+    cpu.submit(t, 1.0)
+    t.kill()
+    t.kill()
+    assert t.state == ThreadState.DEAD
+    kernel.run()  # nothing left to run
+
+
+def test_kill_after_priority_change_ignores_all_stale_entries():
+    """A priority change pushes a second heap entry for the same ready
+    episode; killing afterwards must invalidate both."""
+    kernel, cpu = make_cpu()
+    runner = SimThread(cpu, priority=10, name="runner")
+    victim = SimThread(cpu, priority=3, name="victim")
+    cpu.submit(runner, 1.0)
+    cpu.submit(victim, 1.0)
+    kernel.schedule(0.2, lambda: victim.set_priority(8))
+    kernel.schedule(0.5, victim.kill)
+    kernel.run()
+    assert victim.cpu_time == 0.0
+    assert kernel.now == pytest.approx(1.0)

@@ -194,6 +194,38 @@ def test_cancelled_reserve_stops_replenishing():
     assert t.cpu_time > 1.0
 
 
+def test_kill_releases_reserved_utilization():
+    """Killing a thread mid-run cancels its reserve, freeing the
+    admitted utilization for new requests."""
+    kernel, cpu, manager = make_rig(bound=0.9)
+    a = SimThread(cpu, priority=1, name="a")
+    b = SimThread(cpu, priority=1, name="b")
+    reserve = manager.request(a, compute=0.6, period=1.0)
+    cpu.submit(a, 10.0)
+    kernel.schedule(0.5, a.kill)
+    kernel.run(until=1.0)
+    assert a.state == ThreadState.DEAD
+    assert not reserve.active
+    assert manager.total_utilization == pytest.approx(0.0)
+    manager.request(b, compute=0.6, period=1.0)  # admissible again
+
+
+def test_budget_clamped_under_pathological_consumption():
+    """Regression for the shared clamp policy: thousands of partial
+    slices charged at a non-representable period must keep the stored
+    budget inside [0, C] exactly — the drifted comparison used to let
+    residue leak past the depletion check."""
+    kernel, cpu, manager = make_rig()
+    t = SimThread(cpu, priority=1)
+    reserve = manager.request(t, compute=0.3, period=1.0,
+                              policy=EnforcementPolicy.HARD)
+    cpu.submit(t, 1000.0)
+    for step in range(1, 401):
+        kernel.run(until=step * 0.0070000003)
+        cpu.reschedule()  # charge the in-flight slice
+        assert 0.0 <= reserve.budget_remaining <= reserve.compute
+
+
 def test_utilization_bound_validation():
     kernel = Kernel()
     cpu = CPU(kernel)

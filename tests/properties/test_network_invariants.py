@@ -92,6 +92,52 @@ def test_prop_diffserv_serves_best_band_first(operations):
 
 
 # ----------------------------------------------------------------------
+# GRQ drop accounting: every rejection is booked exactly once
+# ----------------------------------------------------------------------
+def test_grq_demotion_then_overflow_drops_exactly_once():
+    """Regression: a packet that fails its token bucket, is demoted to
+    the DiffServ base, and then overflows the band must appear once —
+    not zero times, not twice — in the outer queue's drop books."""
+    kernel = Kernel()
+    queue = GuaranteedRateQueue(kernel, band_capacity=1)
+    queue.install_reservation("a:1->b:2", rate_bps=8_000, depth_bytes=600)
+    dropped = []
+    queue.on_drop = dropped.append
+
+    first, second, third = (make_packet(nbytes=500) for _ in range(3))
+    assert queue.enqueue(first)       # conforms: 600 tokens cover 500 B
+    assert queue.enqueue(second)      # 100 tokens left: demoted, band ok
+    assert queue.demoted == 1
+    assert not queue.enqueue(third)   # demoted again, band full: dropped
+
+    assert dropped == [third]         # on_drop fired exactly once
+    assert queue.dropped == 1
+    assert queue._base.dropped == 1   # the base drop was mirrored up
+    assert queue.drops_by_flow == {"a:1->b:2": 1}
+    assert len(queue) == queue.enqueued - queue.dequeued == 2
+
+
+@given(OPS)
+def test_prop_grq_on_drop_fires_exactly_once_per_rejection(operations):
+    kernel = Kernel()
+    queue = GuaranteedRateQueue(kernel, band_capacity=3)
+    queue.install_reservation("a:1->b:2", rate_bps=8_000, depth_bytes=1500)
+    drops = []
+    queue.on_drop = drops.append
+    rejected = []
+    for op, dscp in operations:
+        if op == "enq":
+            packet = make_packet(dscp=dscp)
+            if not queue.enqueue(packet):
+                rejected.append(packet)
+        else:
+            queue.dequeue()
+    assert drops == rejected
+    assert queue.dropped == len(rejected)
+    assert queue._base.dropped <= queue.dropped
+
+
+# ----------------------------------------------------------------------
 # Token bucket conformance bound
 # ----------------------------------------------------------------------
 @given(
@@ -124,6 +170,27 @@ def test_prop_token_bucket_never_negative(consumes):
     for nbytes in consumes:
         bucket.try_consume(nbytes)
         assert bucket.tokens >= -1e-9
+
+
+def test_token_bucket_pathological_rate_never_drifts():
+    """Regression for the shared clamp policy: a non-representable rate
+    accrued over thousands of tiny refills must keep the *stored* token
+    count inside [0, depth] exactly, not just within float noise."""
+    kernel = Kernel()
+    bucket = TokenBucket(kernel, rate_bps=0.1 + 1e-7, depth_bytes=7)
+    for step in range(1, 5001):
+        kernel.run(until=step * 0.0101)
+        bucket.try_consume(1)
+        assert 0.0 <= bucket._tokens <= bucket.depth_bytes
+
+
+def test_token_bucket_full_refill_saturates_at_depth():
+    kernel = Kernel()
+    bucket = TokenBucket(kernel, rate_bps=1e6, depth_bytes=1000)
+    assert bucket.try_consume(600)
+    kernel.run(until=100.0)  # a refill worth ~12.5 MB: must clamp
+    assert bucket.tokens == bucket.depth_bytes
+    assert bucket._tokens == bucket.depth_bytes
 
 
 # ----------------------------------------------------------------------

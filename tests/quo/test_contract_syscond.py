@@ -207,3 +207,70 @@ def test_contract_drives_adaptation_from_cpu_condition():
     kernel.run(until=3.0)
     assert contract.current_region == "busy"
     assert actions == ["shed-load"]
+
+
+# ----------------------------------------------------------------------
+# Re-entrant evaluation: callbacks that move their own conditions
+# ----------------------------------------------------------------------
+def test_reentrant_evaluate_defers_and_replays_causally():
+    """Regression: an on_enter callback that sets an attached condition
+    used to recurse into evaluate() mid-transition, nesting callbacks
+    and logging transitions out of causal order.  The nested request
+    must now be deferred and replayed after the outer transition
+    commits."""
+    kernel = Kernel()
+    load = ValueSC(kernel, "load", initial=0.0)
+
+    def escalate(contract):
+        # Entering "hot" immediately pushes load past the critical bar.
+        load.set(1.5)
+
+    contract = Contract(kernel, "demo", regions=[
+        Region("critical", lambda s: s["load"] > 1.0),
+        Region("hot", lambda s: s["load"] > 0.5, on_enter=escalate),
+        Region("cool"),
+    ])
+    contract.attach(load)
+    contract.evaluate()
+    load.set(0.7)  # -> hot, whose on_enter escalates -> critical
+    assert contract.current_region == "critical"
+    assert not contract._evaluating
+    chain = [(t.from_region, t.to_region) for t in contract.transitions]
+    assert chain == [(None, "cool"), ("cool", "hot"), ("hot", "critical")]
+    # Causality: every hop starts where the previous one ended.
+    for previous, current in zip(contract.transitions,
+                                 contract.transitions[1:]):
+        assert current.from_region == previous.to_region
+
+
+def test_reentrant_exit_callback_is_also_deferred():
+    kernel = Kernel()
+    load = ValueSC(kernel, "load", initial=0.9)
+    contract = Contract(kernel, "demo", regions=[
+        Region("hot", lambda s: s["load"] > 0.5,
+               on_exit=lambda c: load.set(0.8)),  # re-arms "hot" on exit
+        Region("cool"),
+    ])
+    contract.attach(load)
+    contract.evaluate()  # hot
+    load.set(0.1)  # leaving hot re-raises load: must land back in hot
+    assert contract.current_region == "hot"
+    assert not contract._evaluating
+    for previous, current in zip(contract.transitions,
+                                 contract.transitions[1:]):
+        assert current.from_region == previous.to_region
+
+
+def test_callback_livelock_is_detected():
+    kernel = Kernel()
+    load = ValueSC(kernel, "load", initial=0.9)
+    contract = Contract(kernel, "spin", regions=[
+        Region("high", lambda s: s["load"] > 0.5,
+               on_enter=lambda c: load.set(0.1)),
+        Region("low", on_enter=lambda c: load.set(0.9)),
+    ])
+    contract.attach(load)
+    with pytest.raises(RuntimeError, match="livelock"):
+        contract.evaluate()
+    # The guard must be released even on the error path.
+    assert not contract._evaluating
