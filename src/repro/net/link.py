@@ -23,7 +23,7 @@ class Interface:
     """A device port: egress qdisc + transmitter onto one link direction."""
 
     __slots__ = ("kernel", "owner", "name", "qdisc", "link", "peer",
-                 "_busy", "bits_sent", "packets_received")
+                 "_busy", "bits_sent", "packets_received", "_tx_event")
 
     def __init__(
         self,
@@ -39,6 +39,10 @@ class Interface:
         self.link: Optional["Link"] = None
         self.peer: Optional["Interface"] = None
         self._busy = False
+        #: The transmitter's completion event, re-armed per packet (at
+        #: most one transmission is in flight per interface, so the
+        #: handle is reusable the moment it has fired).
+        self._tx_event = None
         #: Bits pushed onto the wire (observability).
         self.bits_sent = 0
         #: Packets fully received from the wire.
@@ -83,7 +87,13 @@ class Interface:
                 iface=f"{self.owner.name}.{self.name}",
                 dscp=packet.dscp.name, tx=tx_seconds,
             )
-        self.kernel.schedule(tx_seconds, self._transmit_done, packet)
+        event = self._tx_event
+        if (event is not None and not event.cancelled
+                and event._kernel is None):
+            self.kernel.rearm(event, tx_seconds, packet)
+        else:
+            self._tx_event = self.kernel.schedule(
+                tx_seconds, self._transmit_done, packet)
 
     def _transmit_done(self, packet: Packet) -> None:
         self._busy = False

@@ -1,80 +1,27 @@
 """Batched frame scheduling for the stream farm.
 
 With one generator :class:`~repro.sim.process.Process` per stream,
-every frame interval costs a heap push *and* pop per stream — at N=64
-streams and 30 fps that is ~4k heap operations per simulated second
+every frame interval costs a queue push *and* pop per stream — at N=64
+streams and 30 fps that is ~4k queue operations per simulated second
 before a single packet moves.  The farm's senders share one
 :class:`FrameClock` instead: a single kernel event per tick dispatches
 every subscriber in subscription order, keeping the scheduling cost
 O(ticks) rather than O(streams x ticks).
 
-Subscription order is the dispatch order, so results stay deterministic
-at any stream count; subscribers registered during a tick are picked up
-from the next tick on.
+The mechanism itself now lives in the kernel layer as
+:class:`repro.sim.coalesce.PeriodicTicker` (this was the prototype for
+kernel-level timer coalescing); ``FrameClock`` remains as the farm's
+name for it.  Subscription order is the dispatch order, so results
+stay deterministic at any stream count; subscribers registered during
+a tick are picked up from the next tick on.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
-
-from repro.sim.kernel import Kernel, ScheduledEvent
-
-TickCallback = Callable[[float], None]
+from repro.sim.coalesce import PeriodicTicker, TickCallback  # noqa: F401
 
 
-class FrameClock:
-    """One periodic kernel event fanned out to many subscribers."""
+class FrameClock(PeriodicTicker):
+    """One periodic kernel event fanned out to many stream senders."""
 
-    __slots__ = ("kernel", "interval", "ticks", "_subscribers", "_event",
-                 "_running")
-
-    def __init__(self, kernel: Kernel, interval: float) -> None:
-        if interval <= 0:
-            raise ValueError(f"interval must be positive, got {interval}")
-        self.kernel = kernel
-        self.interval = float(interval)
-        #: Ticks dispatched so far (observability).
-        self.ticks = 0
-        self._subscribers: List[TickCallback] = []
-        self._event: Optional[ScheduledEvent] = None
-        self._running = False
-
-    def subscribe(self, callback: TickCallback) -> Callable[[], None]:
-        """Register ``callback(now)``; returns a deregistration function."""
-        self._subscribers.append(callback)
-
-        def unsubscribe() -> None:
-            try:
-                self._subscribers.remove(callback)
-            except ValueError:
-                pass
-
-        return unsubscribe
-
-    @property
-    def subscriber_count(self) -> int:
-        return len(self._subscribers)
-
-    def start(self) -> None:
-        """First tick fires immediately, then every ``interval`` (idempotent)."""
-        if self._running:
-            return
-        self._running = True
-        self._event = self.kernel.schedule(0.0, self._tick)
-
-    def stop(self) -> None:
-        self._running = False
-        if self._event is not None:
-            self._event.cancel()
-            self._event = None
-
-    def _tick(self) -> None:
-        if not self._running:
-            return
-        self.ticks += 1
-        now = self.kernel.now
-        # Snapshot so a callback subscribing mid-tick takes effect next
-        # tick instead of mutating the list under iteration.
-        for callback in tuple(self._subscribers):
-            callback(now)
-        self._event = self.kernel.schedule(self.interval, self._tick)
+    __slots__ = ()

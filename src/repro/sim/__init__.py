@@ -10,8 +10,14 @@ Public surface
 --------------
 
 ``Kernel``
-    The event loop: a time-ordered heap of scheduled callbacks plus a
-    simulated clock.
+    The event loop: a time-ordered queue of scheduled callbacks plus a
+    simulated clock.  The pending-event store is pluggable
+    (``REPRO_SCHEDULER``): a calendar-queue/timer-wheel backend by
+    default, the legacy binary heap for differential testing.
+
+``PeriodicTicker`` / ``TickCoalescer``
+    Kernel-level timer coalescing: batch N same-tick wakeups into one
+    kernel event (the FrameClock trick, generalized).
 
 ``Process``
     A generator-based coroutine executing on a kernel.  Processes yield
@@ -25,6 +31,13 @@ Public surface
     stochastic component never perturbs existing ones.
 """
 
+from repro.sim.coalesce import PeriodicTicker, TickCoalescer
+from repro.sim.eventq import (
+    CalendarEventQueue,
+    HeapEventQueue,
+    make_event_queue,
+    scheduler_from_env,
+)
 from repro.sim.kernel import Kernel, ScheduledEvent, SimulationError
 from repro.sim.process import (
     AnyOf,
@@ -38,13 +51,19 @@ from repro.sim.rng import RngRegistry
 
 __all__ = [
     "AnyOf",
+    "CalendarEventQueue",
+    "HeapEventQueue",
     "Interrupt",
     "Kernel",
+    "PeriodicTicker",
     "Process",
     "ProcessError",
     "RngRegistry",
     "ScheduledEvent",
     "Signal",
     "SimulationError",
+    "TickCoalescer",
     "Timeout",
+    "make_event_queue",
+    "scheduler_from_env",
 ]

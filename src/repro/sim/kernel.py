@@ -1,24 +1,38 @@
 """The discrete-event simulation kernel.
 
-A :class:`Kernel` owns a simulated clock and a heap of pending events.
+A :class:`Kernel` owns a simulated clock and a queue of pending events.
 Each event is a plain callback scheduled for a future simulated time.
 Higher layers (processes, CPU schedulers, network queues) are all built
 from these two primitives.
+
+Scheduler backends
+------------------
+
+The pending-event store is pluggable (see :mod:`repro.sim.eventq`):
+``REPRO_SCHEDULER=calendar`` (the default) uses a calendar-queue /
+bucketed timer wheel with a far-future heap overflow;
+``REPRO_SCHEDULER=heap`` selects the legacy binary heap.  Both pop in
+identical ``(time, seq)`` order, so the choice can never change
+results — ``tests/sim/test_scheduler_parity.py`` runs every figure
+scenario through both and asserts byte-identical payloads and traces.
 
 Determinism
 -----------
 
 Two events scheduled for the same simulated time fire in the order they
 were scheduled (FIFO tie-break via a monotonically increasing sequence
-number).  Combined with the seeded random streams in
-:mod:`repro.sim.rng`, an entire experiment is reproducible bit-for-bit
-from its seed.
+number).  :meth:`Kernel.rearm` re-schedules a fired event handle with a
+*fresh* sequence number, so reusing an event object is
+indistinguishable from scheduling a new one.  Combined with the seeded
+random streams in :mod:`repro.sim.rng`, an entire experiment is
+reproducible bit-for-bit from its seed.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Optional, Union
+
+from repro.sim.eventq import make_event_queue
 
 
 class SimulationError(RuntimeError):
@@ -28,12 +42,12 @@ class SimulationError(RuntimeError):
 class ScheduledEvent:
     """Handle for a scheduled callback; supports O(1) cancellation.
 
-    Cancellation is implemented by tombstoning: the heap entry stays in
+    Cancellation is implemented by tombstoning: the queue entry stays in
     place but is skipped when popped.  This keeps ``cancel`` cheap, which
     matters because preemptive CPU scheduling cancels completion events
-    constantly.  The kernel counts live tombstones and compacts the heap
+    constantly.  The kernel counts live tombstones and compacts the queue
     when they dominate it, so cancel/reschedule churn cannot grow the
-    heap unboundedly.
+    pending set unboundedly.
     """
 
     __slots__ = ("time", "seq", "callback", "args", "cancelled", "_kernel")
@@ -50,7 +64,7 @@ class ScheduledEvent:
         self.callback = callback
         self.args = args
         self.cancelled = False
-        #: Owning kernel while the event sits in the heap; cleared on
+        #: Owning kernel while the event sits in the queue; cleared on
         #: pop so a late cancel() cannot skew the tombstone count.
         self._kernel: Optional["Kernel"] = None
 
@@ -61,14 +75,7 @@ class ScheduledEvent:
         self.cancelled = True
         kernel = self._kernel
         if kernel is not None:
-            kernel._cancelled += 1
-            # Tombstones are only ever created here, so this is the one
-            # place that needs to police the tombstone/live ratio.
-            if (
-                len(kernel._heap) > kernel.COMPACT_MIN_SIZE
-                and kernel._cancelled * 2 > len(kernel._heap)
-            ):
-                kernel._compact()
+            kernel._note_cancel()
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         if self.time != other.time:
@@ -83,6 +90,15 @@ class ScheduledEvent:
 class Kernel:
     """A deterministic discrete-event simulation loop.
 
+    Parameters
+    ----------
+    start_time:
+        Initial value of the simulated clock.
+    scheduler:
+        Pending-event backend: ``"calendar"``, ``"heap"``, a
+        pre-constructed backend instance (tests tune wheel parameters
+        this way), or ``None`` to follow ``REPRO_SCHEDULER``.
+
     Example
     -------
     >>> k = Kernel()
@@ -96,22 +112,26 @@ class Kernel:
     2.0
     """
 
-    #: Heap compaction threshold: never compact below this size (the
+    #: Compaction threshold: never compact below this size (the
     #: rebuild is not worth it), and above it only when tombstones make
-    #: up more than half of the heap.
+    #: up more than half of the pending set.
     COMPACT_MIN_SIZE = 512
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(self, start_time: float = 0.0,
+                 scheduler: Union[str, Any, None] = None) -> None:
         self._now = float(start_time)
-        self._heap: List[ScheduledEvent] = []
+        if scheduler is None or isinstance(scheduler, str):
+            self._queue = make_event_queue(scheduler)
+        else:
+            self._queue = scheduler
+        #: Active backend name (observability / cache fingerprints).
+        self.scheduler = self._queue.name
         self._seq = 0
         self._running = False
         self._stopped = False
-        #: Cancelled events still sitting in the heap (tombstones).
-        self._cancelled = 0
         #: Number of events executed so far (observability / tests).
         self.events_executed = 0
-        #: Heap compactions performed (observability / tests).
+        #: Queue compactions performed (observability / tests).
         self.compactions = 0
         #: Attached :class:`repro.obs.trace.Tracer`, or ``None`` (the
         #: default: tracing off, zero overhead beyond this None check).
@@ -134,7 +154,13 @@ class Kernel:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args)
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        event = ScheduledEvent(time, seq, callback, args)
+        event._kernel = self
+        self._queue.push(time, seq, event)
+        return event
 
     def schedule_at(
         self, time: float, callback: Callable[..., None], *args: Any
@@ -144,41 +170,55 @@ class Kernel:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self._now}"
             )
-        event = ScheduledEvent(time, self._seq, callback, args)
+        seq = self._seq
+        self._seq = seq + 1
+        event = ScheduledEvent(time, seq, callback, args)
         event._kernel = self
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        self._queue.push(time, seq, event)
         return event
 
-    def _compact(self) -> None:
-        """Drop tombstones and re-heapify.
+    def rearm(self, event: ScheduledEvent, delay: float,
+              *args: Any) -> ScheduledEvent:
+        """Re-schedule a *fired* event handle ``delay`` seconds from now.
 
-        Ordering is unaffected: events are totally ordered by
-        (time, seq), so the pop sequence after a rebuild is identical —
-        compaction can never change simulation results.  The heap list
-        is mutated *in place* so that the hot loop in :meth:`run` can
-        keep a local alias across callbacks that trigger compaction.
+        Allocation-free re-arming for tight periodic loops (traffic
+        sources, link transmitters, coalesced tickers): the handle is
+        reused, but it receives a fresh sequence number at the call
+        site, so the resulting dispatch order is bit-identical to
+        ``schedule()``-ing a brand-new event here.  ``event.args`` is
+        replaced by ``*args`` (pass none for a no-arg callback).
+
+        The handle must not be pending (still queued) — rearming it
+        would corrupt the queue — and a cancelled-then-fired handle is
+        revived (its ``cancelled`` flag clears).
         """
-        for event in self._heap:
-            if event.cancelled:
-                event._kernel = None
-        self._heap[:] = [e for e in self._heap if not e.cancelled]
-        heapq.heapify(self._heap)
-        self._cancelled = 0
-        self.compactions += 1
+        if event._kernel is not None:
+            raise SimulationError(
+                "cannot rearm an event that is still pending"
+            )
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        event.time = time
+        event.seq = seq
+        event.args = args
+        event.cancelled = False
+        event._kernel = self
+        self._queue.push(time, seq, event)
+        return event
 
-    def _prune_cancelled(self) -> List[ScheduledEvent]:
-        """Pop tombstones off the heap top; returns the (live-topped) heap.
-
-        The single tombstone-skipping implementation shared by
-        :meth:`step`, :meth:`run` and :meth:`peek`.
-        """
-        heap = self._heap
-        pop = heapq.heappop
-        while heap and heap[0].cancelled:
-            pop(heap)._kernel = None
-            self._cancelled -= 1
-        return heap
+    def _note_cancel(self) -> None:
+        """Tombstone accounting + compaction policy (from ``cancel()``)."""
+        queue = self._queue
+        queue.note_cancel()
+        # Tombstones are only ever created here, so this is the one
+        # place that needs to police the tombstone/live ratio.
+        if (queue.size() > self.COMPACT_MIN_SIZE
+                and queue.stale * 2 > queue.size()):
+            queue.compact()
+            self.compactions += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -186,13 +226,11 @@ class Kernel:
     def step(self) -> bool:
         """Execute the next pending event.
 
-        Returns ``True`` if an event ran, ``False`` if the heap is empty.
+        Returns ``True`` if an event ran, ``False`` if the queue is empty.
         """
-        heap = self._prune_cancelled()
-        if not heap:
+        event = self._queue.pop_due(None)
+        if event is None:
             return False
-        event = heapq.heappop(heap)
-        event._kernel = None
         self._now = event.time
         self.events_executed += 1
         tracer = self.tracer
@@ -209,40 +247,43 @@ class Kernel:
         return True
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the event heap drains or the clock reaches ``until``.
+        """Run until the queue drains or the clock reaches ``until``.
 
         When ``until`` is given, the clock is advanced to exactly
         ``until`` even if the last event fires earlier, so that metrics
         windows line up with the requested horizon.
 
         This is the simulation's hottest loop (hundreds of thousands of
-        dispatches per experiment), so the dispatch from :meth:`step` is
-        inlined with the heap, pop and tracer hoisted into locals.  The
-        local heap alias stays valid because :meth:`_compact` mutates
-        the list in place.
+        dispatches per experiment), so the backend's ``pop_due`` is
+        hoisted into a local, the dispatch from :meth:`step` is inlined,
+        and ``events_executed`` is batched in a local.  The tracer is
+        sampled once when ``run()`` begins: attach tracers before
+        running (every call site does; per-event re-checks would tax
+        the untraced hot path that the figures depend on).
         """
         if self._running:
             raise SimulationError("kernel is already running (reentrant run())")
         self._running = True
         self._stopped = False
-        heap = self._heap
-        pop = heapq.heappop
-        prune = self._prune_cancelled
+        pop_due = self._queue.pop_due
+        tracer = self.tracer
+        executed = 0
         try:
-            while not self._stopped:
-                if heap and heap[0].cancelled:
-                    prune()
-                if not heap:
-                    break
-                event = heap[0]
-                if until is not None and event.time > until:
-                    break
-                pop(heap)
-                event._kernel = None
-                self._now = event.time
-                self.events_executed += 1
-                tracer = self.tracer
-                if tracer is not None:
+            if tracer is None:
+                while not self._stopped:
+                    event = pop_due(until)
+                    if event is None:
+                        break
+                    self._now = event.time
+                    executed += 1
+                    event.callback(*event.args)
+            else:
+                while not self._stopped:
+                    event = pop_due(until)
+                    if event is None:
+                        break
+                    self._now = event.time
+                    executed += 1
                     callback = event.callback
                     tracer.instant(
                         "sim", "event.dispatch",
@@ -252,10 +293,11 @@ class Kernel:
                         ),
                         seq=event.seq,
                     )
-                event.callback(*event.args)
+                    callback(*event.args)
             if until is not None and not self._stopped and until > self._now:
                 self._now = until
         finally:
+            self.events_executed += executed
             self._running = False
 
     def stop(self) -> None:
@@ -264,20 +306,20 @@ class Kernel:
 
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if idle."""
-        heap = self._prune_cancelled()
-        return heap[0].time if heap else None
+        return self._queue.peek()
 
     def pending(self) -> int:
         """O(1) count of live (non-cancelled) events still queued."""
-        return len(self._heap) - self._cancelled
+        return self._queue.live()
 
     #: Deprecated alias of :meth:`pending`; kept for callers written
     #: against the pre-consolidation API.
     pending_count = pending
 
     def heap_size(self) -> int:
-        """Heap entries including tombstones (observability / tests)."""
-        return len(self._heap)
+        """Queue entries including tombstones (observability / tests)."""
+        return self._queue.size()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Kernel now={self._now:.6f} pending={self.pending()}>"
+        return (f"<Kernel now={self._now:.6f} pending={self.pending()} "
+                f"scheduler={self.scheduler}>")

@@ -1,0 +1,282 @@
+"""Property tests: pending-event queue backends vs a sorted model.
+
+The kernel's determinism contract (:mod:`repro.sim.eventq`) says both
+scheduler backends pop events in strictly increasing ``(time, seq)``
+order, with same-time ties resolved FIFO by the schedule counter —
+under *any* interleaving of pushes, pops, cancellations, bounded pops
+(``run(until=...)`` limit probing), compactions and bucket-geometry
+boundaries.  These tests drive random operation sequences through
+each backend and a trivially correct sorted-list reference model, and
+require identical observable behaviour.
+
+The calendar queue runs with deliberately hostile geometry (bucket
+widths from nanoseconds to seconds, wheel windows as small as 4
+slots) so that activation, far-heap overflow/migration, rewind and
+adaptive-resize boundaries are all crossed constantly — the plain
+"big queue, friendly spacing" case is the easy one.
+
+Kernel-level facts pinned on top of the raw structures:
+
+- :meth:`~repro.sim.Kernel.rearm` is dispatch-identical to scheduling
+  a fresh event at the same point;
+- a :class:`~repro.sim.PeriodicTicker` dispatches subscribers exactly
+  like per-subscriber private timers would;
+- :class:`~repro.sim.TickCoalescer` batches never fire early and never
+  reorder registrations.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Kernel, PeriodicTicker, TickCoalescer
+from repro.sim.eventq import CalendarEventQueue, HeapEventQueue
+
+# ----------------------------------------------------------------------
+# Random operation programs
+# ----------------------------------------------------------------------
+#: Delays chosen to straddle bucket widths: sub-width, multi-bucket,
+#: beyond any wheel window (far-heap), and exact ties (0.0).
+DELAY = st.one_of(
+    st.just(0.0),
+    st.floats(min_value=0.0, max_value=1e-3),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=500.0),
+)
+
+OP = st.one_of(
+    st.tuples(st.just("push"), DELAY),
+    st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=200)),
+    st.tuples(st.just("pop"), st.integers(min_value=1, max_value=8)),
+    st.tuples(st.just("pop_until"), DELAY, st.integers(min_value=1,
+                                                       max_value=8)),
+    st.tuples(st.just("compact")),
+)
+
+PROGRAM = st.lists(OP, max_size=120)
+
+WIDTH = st.sampled_from((1e-9, 1e-6, 1e-3, 0.05, 1.0))
+NSLOTS = st.sampled_from((4, 8, 64, 256))
+
+
+class _Handle:
+    """Stand-in for ScheduledEvent: just the fields the queues touch."""
+
+    __slots__ = ("time", "seq", "cancelled", "_kernel")
+
+    def __init__(self, time, seq):
+        self.time = time
+        self.seq = seq
+        self.cancelled = False
+        self._kernel = object()
+
+
+class _SortedModel:
+    """The obviously correct reference: one sorted list."""
+
+    def __init__(self):
+        self.entries = []
+
+    def push(self, time, seq, handle):
+        insort(self.entries, (time, seq, handle))
+
+    def pop_due(self, limit):
+        while self.entries:
+            time, seq, handle = self.entries[0]
+            if handle.cancelled:
+                del self.entries[0]
+                continue
+            if limit is not None and time > limit:
+                return None
+            del self.entries[0]
+            return handle
+        return None
+
+    def live(self):
+        return sum(1 for e in self.entries if not e[2].cancelled)
+
+
+def _run_program(queue, program):
+    """Execute ``program`` against ``queue`` and the model in lockstep."""
+    model = _SortedModel()
+    handles = []
+    now = 0.0
+    seq = 0
+    for op in program:
+        if op[0] == "push":
+            time = now + op[1]
+            mine, theirs = _Handle(time, seq), _Handle(time, seq)
+            queue.push(time, seq, mine)
+            model.push(time, seq, theirs)
+            handles.append((mine, theirs))
+            seq += 1
+        elif op[0] == "cancel":
+            if handles:
+                mine, theirs = handles[op[1] % len(handles)]
+                if not mine.cancelled and mine._kernel is not None:
+                    mine.cancelled = True
+                    theirs.cancelled = True
+                    queue.note_cancel()
+        elif op[0] == "compact":
+            queue.compact()
+        else:
+            limit = None if op[0] == "pop" else now + op[1]
+            count = op[-1]
+            for _ in range(count):
+                got = queue.pop_due(limit)
+                expected = model.pop_due(limit)
+                if expected is None:
+                    assert got is None, (
+                        f"backend popped {got and (got.time, got.seq)}, "
+                        f"model says queue is drained/beyond limit")
+                    break
+                assert got is not None, (
+                    f"backend returned None, model expected "
+                    f"{(expected.time, expected.seq)}")
+                assert (got.time, got.seq) == (expected.time, expected.seq)
+                now = got.time
+    # Full drain must agree too (flushes far-heap / parked buckets).
+    while True:
+        got = queue.pop_due(None)
+        expected = model.pop_due(None)
+        if expected is None:
+            assert got is None
+            break
+        assert got is not None
+        assert (got.time, got.seq) == (expected.time, expected.seq)
+    assert queue.live() == 0
+
+
+@settings(max_examples=150, deadline=None)
+@given(program=PROGRAM)
+def test_heap_matches_sorted_model(program):
+    _run_program(HeapEventQueue(), program)
+
+
+@settings(max_examples=300, deadline=None)
+@given(program=PROGRAM, width=WIDTH, nslots=NSLOTS)
+def test_calendar_matches_sorted_model(program, width, nslots):
+    _run_program(CalendarEventQueue(width=width, nslots=nslots), program)
+
+
+@settings(max_examples=100, deadline=None)
+@given(program=PROGRAM, width=WIDTH)
+def test_calendar_resize_boundaries(program, width):
+    """A tiny wheel + hostile widths forces constant resizes/migration.
+
+    The adaptation thresholds are dropped to the floor so that nearly
+    every activation crosses a rebuild or a far-heap migration — the
+    structural churn must stay invisible in pop order.
+    """
+    class TinyAdapt(CalendarEventQueue):
+        __slots__ = ()
+        RESIZE_MIN_EVENTS = 2
+        ADAPT_PERIOD = 2
+
+    _run_program(TinyAdapt(width=width, nslots=4), program)
+
+
+# ----------------------------------------------------------------------
+# Kernel-level determinism facts
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(
+    period=st.floats(min_value=1e-4, max_value=0.5),
+    cycles=st.integers(min_value=1, max_value=20),
+    backend=st.sampled_from(("heap", "calendar")),
+)
+def test_rearm_equivalent_to_fresh_schedule(period, cycles, backend):
+    """rearm() produces the same dispatch sequence as fresh schedule()."""
+
+    def run(use_rearm):
+        kernel = Kernel(scheduler=backend)
+        fired = []
+
+        class Periodic:
+            def __init__(self):
+                self.left = cycles
+                self.event = kernel.schedule(period, self.fire)
+
+            def fire(self):
+                fired.append((round(kernel.now, 12), self.event.seq))
+                self.left -= 1
+                if self.left > 0:
+                    if use_rearm:
+                        kernel.rearm(self.event, period)
+                    else:
+                        self.event = kernel.schedule(period, self.fire)
+
+        Periodic()
+        kernel.run()
+        return fired, kernel.events_executed
+
+    assert run(True) == run(False)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    interval=st.floats(min_value=1e-3, max_value=0.1),
+    subscribers=st.integers(min_value=1, max_value=8),
+    ticks=st.integers(min_value=1, max_value=10),
+    backend=st.sampled_from(("heap", "calendar")),
+)
+def test_ticker_matches_private_timers(interval, subscribers, ticks,
+                                       backend):
+    """One coalesced ticker == N private periodic timers, in order."""
+    horizon = interval * (ticks - 1) + interval / 2
+
+    kernel = Kernel(scheduler=backend)
+    ticker = PeriodicTicker(kernel, interval)
+    coalesced = []
+    for i in range(subscribers):
+        ticker.subscribe(
+            lambda now, i=i: coalesced.append((round(now, 12), i)))
+    ticker.start()
+    kernel.run(until=horizon)
+    ticker.stop()
+
+    kernel = Kernel(scheduler=backend)
+    private = []
+
+    def tick(i):
+        private.append((round(kernel.now, 12), i))
+
+    def fan_out():
+        for i in range(subscribers):
+            tick(i)
+        kernel.schedule(interval, fan_out)
+
+    kernel.schedule(0.0, fan_out)
+    kernel.run(until=horizon)
+    assert coalesced == private
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    quantum=st.floats(min_value=1e-4, max_value=0.5),
+    requests=st.lists(st.floats(min_value=0.0, max_value=2.0),
+                      min_size=1, max_size=30),
+    backend=st.sampled_from(("heap", "calendar")),
+)
+def test_coalescer_never_early_never_reordered(quantum, requests, backend):
+    """Coalesced wakeups: never before the request, FIFO within a tick."""
+    kernel = Kernel(scheduler=backend)
+    grid = TickCoalescer(kernel, quantum)
+    fired = []
+    for i, delay in enumerate(requests):
+        grid.call_after(delay, lambda i=i, want=delay: fired.append(
+            (kernel.now, i, want)))
+    kernel.run()
+    assert len(fired) == len(requests)
+    per_tick = {}
+    for at, i, want in fired:
+        assert at >= want - 1e-12, (
+            f"wakeup {i} fired at {at}, before its request {want}")
+        assert at - want <= quantum + 1e-9, (
+            f"wakeup {i} delayed {at - want}, beyond one quantum")
+        per_tick.setdefault(at, []).append(i)
+    for at, indices in per_tick.items():
+        assert indices == sorted(indices), (
+            f"tick {at} ran registrations out of order: {indices}")

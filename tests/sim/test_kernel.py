@@ -229,3 +229,74 @@ def test_compaction_preserves_event_order():
     eager = run(compact_min=8)       # compacts many times
     never = run(compact_min=10**9)   # never compacts
     assert eager == never
+
+
+# ----------------------------------------------------------------------
+# rearm() — allocation-free re-scheduling of fired handles
+# ----------------------------------------------------------------------
+def test_rearm_pending_event_rejected():
+    kernel = Kernel()
+    event = kernel.schedule(1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        kernel.rearm(event, 1.0)
+
+
+def test_rearm_negative_delay_rejected():
+    kernel = Kernel()
+    fired = []
+    event = kernel.schedule(0.0, fired.append, "x")
+    kernel.run()
+    with pytest.raises(SimulationError):
+        kernel.rearm(event, -1.0)
+
+
+def test_rearm_replaces_args_and_revives_cancelled_handle():
+    kernel = Kernel()
+    fired = []
+    event = kernel.schedule(1.0, fired.append, "first")
+    kernel.run()
+    # The handle has fired; cancel() on it is a no-op for the queue,
+    # and rearm() must revive it with the new args.
+    event.cancel()
+    kernel.rearm(event, 2.0, "second")
+    assert not event.cancelled
+    kernel.run()
+    assert fired == ["first", "second"]
+    assert kernel.now == 3.0
+
+
+def test_scheduler_argument_selects_backend():
+    for name in ("heap", "calendar"):
+        kernel = Kernel(scheduler=name)
+        assert kernel.scheduler == name
+    with pytest.raises(Exception):
+        Kernel(scheduler="btree")
+
+
+def test_events_executed_accumulates_across_runs():
+    kernel = Kernel()
+    kernel.schedule(1.0, lambda: None)
+    kernel.run(until=2.0)
+    kernel.schedule(1.0, lambda: None)
+    kernel.schedule(1.5, lambda: None)
+    kernel.run()
+    assert kernel.events_executed == 3
+
+
+def test_stop_mid_run_keeps_counter_exact():
+    kernel = Kernel()
+    fired = []
+
+    def firing(label):
+        fired.append(label)
+        if label == 2:
+            kernel.stop()
+
+    for i in range(5):
+        kernel.schedule(float(i), firing, i)
+    kernel.run()
+    assert fired == [0, 1, 2]
+    assert kernel.events_executed == 3
+    kernel.run()
+    assert fired == [0, 1, 2, 3, 4]
+    assert kernel.events_executed == 5
