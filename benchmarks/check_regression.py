@@ -49,7 +49,25 @@ def main(argv=None) -> int:
                         help="fail unless NAME was measured in the current "
                              "run (repeatable); catches a figure silently "
                              "dropping out of the benchmark suite")
+    parser.add_argument("--min-rate", action="append", default=[],
+                        metavar="NAME=RATE",
+                        help="fail if NAME's events_per_sec in the current "
+                             "run is below RATE (repeatable); a throughput "
+                             "floor that, unlike the wall-time ratio, does "
+                             "not drift as the baseline is regenerated")
     args = parser.parse_args(argv)
+
+    floors = {}
+    for spec in args.min_rate:
+        name, sep, rate = spec.partition("=")
+        if not sep:
+            raise SystemExit(
+                f"check_regression: --min-rate wants NAME=RATE, got {spec!r}")
+        try:
+            floors[name] = float(rate)
+        except ValueError:
+            raise SystemExit(
+                f"check_regression: bad --min-rate value in {spec!r}")
 
     baseline = load(args.baseline)
     current = load(args.current)
@@ -58,6 +76,24 @@ def main(argv=None) -> int:
         if name not in current:
             print(f"  required figure missing from current run: {name}",
                   file=sys.stderr)
+            failures.append(name)
+    for name, floor in sorted(floors.items()):
+        if name not in current:
+            print(f"  --min-rate figure missing from current run: {name}",
+                  file=sys.stderr)
+            failures.append(name)
+            continue
+        entry = current[name]
+        if entry.get("cache_hits", 0):
+            print(f"  {name}: rate check skipped "
+                  f"({entry['cache_hits']}/{entry.get('runs')} "
+                  f"arms from cache)")
+            continue
+        rate = float(entry.get("events_per_sec", 0.0))
+        verdict = "ok" if rate >= floor else "TOO SLOW"
+        print(f"  {name}: {rate:,.0f} events/s (floor {floor:,.0f}) "
+              f"{verdict}")
+        if rate < floor:
             failures.append(name)
     for name in sorted(set(baseline) | set(current)):
         if name not in baseline:

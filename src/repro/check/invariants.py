@@ -41,6 +41,7 @@ __all__ = [
     "PacketConservationChecker",
     "ContractChecker",
     "ThreadStateChecker",
+    "FluidConservationChecker",
     "default_suite",
 ]
 
@@ -696,6 +697,102 @@ class ThreadStateChecker(InvariantChecker):
         self._check_all()
 
 
+class FluidConservationChecker(InvariantChecker):
+    """The fluid engine's byte ledgers balance and its shares are sane.
+
+    Laws, re-verified at every fluid epoch record and at teardown:
+
+    * per flow: ``offered == served + lost`` (bytes, within relative
+      slack), every ledger non-negative, ``served_share`` in [0, 1],
+      and the offered rate never exceeds the flow's nominal rate;
+    * per link: the same byte conservation, class shares in [0, 1],
+      the served fluid aggregate within link capacity, and the hybrid
+      residual exported to packet transmitters strictly positive
+      (a zero residual would wedge an attached interface).
+    """
+
+    name = "fluid-conservation"
+    layers = ("fluid",)
+
+    @staticmethod
+    def _balanced(offered: float, served: float, lost: float) -> bool:
+        slack = max(1e-6, 1e-9 * offered)
+        return abs(offered - (served + lost)) <= slack
+
+    def _check_all(self) -> None:
+        assert self.world is not None
+        engine = self.world.fluid
+        if engine is None:
+            return
+        for flow in engine.flows():
+            self.require(
+                min(flow.offered_bytes, flow.served_bytes,
+                    flow.lost_bytes, flow.shed_bytes) >= 0.0,
+                "negative fluid flow ledger", flow=flow.name,
+                offered=flow.offered_bytes, served=flow.served_bytes,
+                lost=flow.lost_bytes, shed=flow.shed_bytes,
+            )
+            self.require(
+                self._balanced(flow.offered_bytes, flow.served_bytes,
+                               flow.lost_bytes),
+                "fluid flow bytes not conserved", flow=flow.name,
+                offered=flow.offered_bytes, served=flow.served_bytes,
+                lost=flow.lost_bytes,
+            )
+            self.require(
+                -EPSILON <= flow.served_share <= 1.0 + EPSILON,
+                "fluid flow share outside [0, 1]", flow=flow.name,
+                share=flow.served_share,
+            )
+            self.require(
+                flow.rate_bps <= flow.nominal_bps + EPSILON,
+                "fluid flow offering above its nominal rate",
+                flow=flow.name, rate=flow.rate_bps,
+                nominal=flow.nominal_bps,
+            )
+        for link in engine.links():
+            self.require(
+                min(link.offered_bytes, link.served_bytes,
+                    link.lost_bytes) >= 0.0,
+                "negative fluid link ledger", link=link.name,
+                offered=link.offered_bytes, served=link.served_bytes,
+                lost=link.lost_bytes,
+            )
+            self.require(
+                self._balanced(link.offered_bytes, link.served_bytes,
+                               link.lost_bytes),
+                "fluid link bytes not conserved", link=link.name,
+                offered=link.offered_bytes, served=link.served_bytes,
+                lost=link.lost_bytes,
+            )
+            for label, share in (("reserved", link.reserved_share),
+                                 ("best-effort", link.be_share)):
+                self.require(
+                    -EPSILON <= share <= 1.0 + EPSILON,
+                    f"fluid link {label} share outside [0, 1]",
+                    link=link.name, share=share,
+                )
+            capacity = link.capacity_bps
+            self.require(
+                link.fluid_served_bps <= capacity * (1.0 + 1e-9),
+                "fluid aggregate served above link capacity",
+                link=link.name, served=link.fluid_served_bps,
+                capacity=capacity,
+            )
+            self.require(
+                link.packet_residual_bps > 0.0,
+                "hybrid packet residual is not positive",
+                link=link.name, residual=link.packet_residual_bps,
+            )
+
+    def on_event(self, record: TraceRecord) -> None:
+        if record.kind == "epoch":
+            self._check_all()
+
+    def final_check(self) -> None:
+        self._check_all()
+
+
 def default_suite() -> CheckSuite:
     """All built-in monitors, ready to ``install`` on a world."""
     return CheckSuite([
@@ -706,4 +803,5 @@ def default_suite() -> CheckSuite:
         PacketConservationChecker(),
         ContractChecker(),
         ThreadStateChecker(),
+        FluidConservationChecker(),
     ])

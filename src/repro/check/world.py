@@ -43,6 +43,9 @@ class World:
         registration; registering enables object-level final checks).
     admission:
         Optional :class:`~repro.scale.admission.AdmissionController`.
+    fluid:
+        Optional :class:`~repro.fluid.engine.FluidEngine` (hybrid
+        scenarios); enables the fluid conservation-ledger checks.
     """
 
     def __init__(
@@ -52,12 +55,14 @@ class World:
         hosts: Iterable["Host"] = (),
         contracts: Iterable["Contract"] = (),
         admission=None,
+        fluid=None,
     ) -> None:
         self.kernel = kernel
         self.network = network
         self.hosts: List["Host"] = list(hosts)
         self.contracts: List["Contract"] = list(contracts)
         self.admission = admission
+        self.fluid = fluid
 
     # ------------------------------------------------------------------
     # Discovery walks

@@ -56,6 +56,7 @@ from repro.experiments.scenario_registry import (
     figure_specs,
     network_arm_params,
     priority_arm_params,
+    scale_arm_params,
 )
 
 
@@ -235,6 +236,45 @@ def _cmd_capacity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scale(args: argparse.Namespace) -> int:
+    """Fig 10: the hybrid fluid/packet scale sweep (10^2..10^5 streams)."""
+    from repro.scale.fig10 import render_fig10_scale, scale_arms
+
+    arms = scale_arms()
+    if args.arm is not None:
+        matches = [arm for arm in arms if arm.name == args.arm]
+        if not matches:
+            names = ", ".join(arm.name for arm in arms)
+            raise SystemExit(
+                f"unknown arm {args.arm!r}; choose from: {names}")
+        arms = matches
+    try:
+        counts = sorted({int(part) for part in args.streams.split(",")
+                         if part.strip()})
+    except ValueError:
+        raise SystemExit(f"bad --streams value {args.streams!r}; expected "
+                         "a comma-separated list of stream counts")
+    if not counts or counts[0] < 1:
+        raise SystemExit("--streams needs at least one positive count")
+    mode = "hybrid fluid/packet" if not args.packet_level else "pure packet"
+    print(f"running {', '.join(arm.name for arm in arms)} x "
+          f"N={{{', '.join(str(c) for c in counts)}}} "
+          f"({mode}, {args.duration:.0f}s simulated each) ...",
+          file=sys.stderr)
+    payloads = _runner(args).payloads([
+        RunSpec("scale",
+                {"arm": scale_arm_params(arm), "streams": count,
+                 "duration": args.duration,
+                 "fluid": not args.packet_level}, seed=args.seed)
+        for arm in arms for count in counts
+    ])
+    sweeps = {arm.name: [] for arm in arms}
+    for payload in payloads:
+        sweeps[payload.arm.name].append(payload)
+    print(render_fig10_scale(sweeps))
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Run a scenario with tracing on; write JSONL and a breakdown."""
     from repro.obs import JsonlSink, LatencyBreakdown, RingBufferSink, Tracer
@@ -377,6 +417,18 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     return 1
 
 
+def _dump_profile(profiler, path: str, limit: int = 20) -> None:
+    """Write a cProfile's top-N cumulative-time functions to ``path``."""
+    import io
+    import pstats
+
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(limit)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(buffer.getvalue())
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Regenerate every figure through the parallel engine.
 
@@ -393,12 +445,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             raise SystemExit(
                 f"unknown figure(s) {', '.join(missing)}; known: {known}")
         suite = {name: suite[name] for name in args.figure}
+    profile_dir = None
+    if args.profile:
+        import cProfile
+
+        profile_dir = os.path.join("results", "profiles")
+        os.makedirs(profile_dir, exist_ok=True)
     entries = {}
     total_wall = 0.0
     for name, specs in suite.items():
         print(f"bench {name} ({len(specs)} arms) ...", file=sys.stderr)
         started = time.perf_counter()
-        results = runner.run(specs)
+        if profile_dir is not None:
+            profiler = cProfile.Profile()
+            profiler.enable()
+            results = runner.run(specs)
+            profiler.disable()
+            _dump_profile(profiler, os.path.join(profile_dir, f"{name}.txt"))
+        else:
+            results = runner.run(specs)
         wall = time.perf_counter() - started
         total_wall += wall
         events = sum(r.events for r in results)
@@ -492,6 +557,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run a single arm (best-effort, priority, "
                         "reserves, adaptive)")
 
+    p = add("scale", _cmd_scale,
+            "fig 10 hybrid fluid/packet scale sweep "
+            "(10^2..10^5 streams x four arms)", 8.0)
+    p.add_argument("--streams", default="100,1000,10000,100000",
+                   help="comma-separated stream counts "
+                        "(default 100,1000,10000,100000)")
+    p.add_argument("--arm", default=None,
+                   help="run a single arm (best-effort, reserves, "
+                        "adaptive, overload)")
+    p.add_argument("--packet-level", action="store_true",
+                   help="packet-simulate every stream instead of the "
+                        "hybrid fluid model (validation mode; only "
+                        "sensible at small N)")
+
     p = sub.add_parser(
         "soak",
         help="randomized invariant soak: run random scenario x fault x "
@@ -527,6 +606,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", default="BENCH_figures.json",
                    help="write per-figure timing JSON here "
                         "(default BENCH_figures.json; '' to skip)")
+    p.add_argument("--profile", action="store_true",
+                   help="cProfile each figure and dump the top-20 "
+                        "cumulative functions to results/profiles/ "
+                        "(profiles the coordinating process; run with "
+                        "-j 1 --no-cache to capture the scenario code "
+                        "itself)")
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(

@@ -39,6 +39,12 @@ from repro.scale.capacity_exp import (
     fig9_stream_counts,
     run_capacity_experiment,
 )
+from repro.scale.fig10 import (
+    ScaleArm,
+    fig10_stream_counts,
+    run_scale_experiment,
+    scale_arms,
+)
 
 
 def priority_arm_params(arm: PriorityArm) -> Dict[str, Any]:
@@ -107,6 +113,17 @@ def capacity_arm_params(arm: CapacityArm) -> Dict[str, Any]:
 def _capacity(arm: Dict[str, Any], seed: int = 1, **kwargs: Any):
     """Fig 9 capacity arms: N streams behind admission control."""
     return run_capacity_experiment(CapacityArm(**arm), seed=seed, **kwargs)
+
+
+def scale_arm_params(arm: ScaleArm) -> Dict[str, Any]:
+    return {"name": arm.name, "admission": arm.admission,
+            "adaptation": arm.adaptation, "overload": arm.overload}
+
+
+@scenario("scale")
+def _scale(arm: Dict[str, Any], seed: int = 1, **kwargs: Any):
+    """Fig 10 hybrid fluid/packet scale arms (10^2..10^5 streams)."""
+    return run_scale_experiment(ScaleArm(**arm), seed=seed, **kwargs)
 
 
 @scenario("soak_case")
@@ -204,6 +221,13 @@ def figure_specs() -> "Dict[str, list]":
                      "duration": 12.0}, seed=1)
             for arm in capacity_all_arms()
             for count in fig9_stream_counts()
+        ],
+        "fig10_scale": [
+            RunSpec("scale",
+                    {"arm": scale_arm_params(arm), "streams": count,
+                     "duration": 8.0, "fluid": True}, seed=1)
+            for arm in scale_arms()
+            for count in fig10_stream_counts()
         ],
         "table1_network_reservation": [
             net_spec(arm) for arm in net_all_arms()

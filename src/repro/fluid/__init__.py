@@ -1,0 +1,9 @@
+"""Fluid-flow background-traffic engine (hybrid fluid/packet simulation).
+
+See :mod:`repro.fluid.engine` for the model and DESIGN.md §9 for the
+architecture discussion.
+"""
+
+from repro.fluid.engine import FluidEngine, FluidFlow, FluidLink
+
+__all__ = ["FluidEngine", "FluidFlow", "FluidLink"]

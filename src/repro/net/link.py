@@ -23,7 +23,8 @@ class Interface:
     """A device port: egress qdisc + transmitter onto one link direction."""
 
     __slots__ = ("kernel", "owner", "name", "qdisc", "link", "peer",
-                 "_busy", "bits_sent", "packets_received", "_tx_event")
+                 "_busy", "bits_sent", "packets_received", "_tx_event",
+                 "fluid")
 
     def __init__(
         self,
@@ -47,6 +48,12 @@ class Interface:
         self.bits_sent = 0
         #: Packets fully received from the wire.
         self.packets_received = 0
+        #: Hybrid-mode coupling: a :class:`repro.fluid.engine.FluidLink`
+        #: whose aggregate consumes part of this egress; when set, the
+        #: transmitter serializes at the fluid residual rate instead of
+        #: the raw link bandwidth.  None everywhere except opt-in
+        #: hybrid scenarios, so the packet-only path is untouched.
+        self.fluid = None
 
     # ------------------------------------------------------------------
     def send(self, packet: Packet) -> bool:
@@ -78,7 +85,10 @@ class Interface:
         if packet is None:
             return
         self._busy = True
-        tx_seconds = packet.size_bits / self.link.bandwidth_bps
+        if self.fluid is not None:
+            tx_seconds = packet.size_bits / self.fluid.packet_residual_bps
+        else:
+            tx_seconds = packet.size_bits / self.link.bandwidth_bps
         tracer = self.kernel.tracer
         if tracer is not None:
             tracer.instant(
@@ -203,12 +213,20 @@ class Link:
         """Cut the link: everything currently on (or put on) the wire
         is lost until :meth:`restore`.  Queued packets stay queued."""
         self.up = False
+        if self.a.fluid is not None:
+            self.a.fluid.on_link_state(False)
+        if self.b.fluid is not None:
+            self.b.fluid.on_link_state(False)
 
     def restore(self) -> None:
         """Bring the link back and restart both transmitters."""
         if self.up:
             return
         self.up = True
+        if self.a.fluid is not None:
+            self.a.fluid.on_link_state(True)
+        if self.b.fluid is not None:
+            self.b.fluid.on_link_state(True)
         self.a._kick()
         self.b._kick()
 

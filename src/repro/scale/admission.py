@@ -12,10 +12,19 @@ actually requested and the RESV message actually travels the path.
 
 Admission is all-or-nothing and rejection is side-effect free: a
 request either commits a grant covering every demanded host and every
-directed edge on the route, or it changes nothing.  Accounting is
-recomputed from the set of live grants rather than kept as running
-sums, so admit -> revoke -> re-admit reproduces the exact same books
-(no float-drift between a grant and its revocation).
+directed edge on the route, or it changes nothing.  The books are
+cached running totals updated incrementally on admit and recomputed
+from the set of live grants on revoke, so queries are O(1) even with
+10^5 grants outstanding (the fig10 regime) while admit -> revoke ->
+re-admit still reproduces the exact same books: an incremental add
+appends the newest term to the insertion-order sum, which is bit-for-
+bit what the recompute produces (no float-drift between a grant and
+its revocation).
+
+Multi-tenant isolation: :meth:`set_tenant_pool` caps the total
+admitted bandwidth per tenant, checked before the per-link budgets, so
+one tenant's overload burst cannot consume another tenant's headroom
+even when the shared links still have capacity.
 """
 
 from __future__ import annotations
@@ -53,15 +62,21 @@ class AdmissionDecision:
 class _Grant:
     """One admitted stream's footprint on the books."""
 
-    __slots__ = ("stream_id", "cpu", "edges")
+    __slots__ = ("stream_id", "cpu", "edges", "tenant", "rate_bps")
 
     def __init__(self, stream_id: str, cpu: Dict[str, float],
-                 edges: Dict[Edge, float]) -> None:
+                 edges: Dict[Edge, float], tenant: Optional[str] = None,
+                 rate_bps: float = 0.0) -> None:
         self.stream_id = stream_id
         #: host name -> CPU utilization (C/T) held there.
         self.cpu = cpu
         #: directed edge -> reserved rate in bits per second.
         self.edges = edges
+        #: Tenant charged for this grant (None = untenanted).
+        self.tenant = tenant
+        #: End-to-end rate charged against the tenant pool (once per
+        #: stream, not per hop).
+        self.rate_bps = rate_bps
 
 
 class AdmissionController:
@@ -90,6 +105,14 @@ class AdmissionController:
         self._edge_capacity: Dict[Edge, float] = {}
         self._neighbors: Dict[str, List[str]] = {}
         self._grants: Dict[str, _Grant] = {}
+        #: Cached books: insertion-order running sums over the grants.
+        self._cpu_totals: Dict[str, float] = {}
+        self._edge_totals: Dict[Edge, float] = {}
+        self._tenant_totals: Dict[str, float] = {}
+        #: Tenant name -> admitted-bandwidth pool cap (bits per second).
+        self._tenant_pools: Dict[str, float] = {}
+        #: Route memo, invalidated on topology changes.
+        self._path_memo: Dict[Edge, List[str]] = {}
         #: Totals for observability (requests seen / rejected).
         self.requests_seen = 0
         self.requests_rejected = 0
@@ -103,11 +126,13 @@ class AdmissionController:
             self.cpu_bound if cpu_bound is None else float(cpu_bound)
         )
         self._neighbors.setdefault(name, [])
+        self._path_memo.clear()
 
     def add_router(self, name: str) -> None:
         """Register a transit node (no CPU budget of its own)."""
         self._routers[name] = None
         self._neighbors.setdefault(name, [])
+        self._path_memo.clear()
 
     def add_link(self, a: str, b: str, bandwidth_bps: float) -> None:
         """Register a full-duplex link (both directed edges budgeted)."""
@@ -120,6 +145,13 @@ class AdmissionController:
         self._edge_capacity[(b, a)] = float(bandwidth_bps)
         self._neighbors[a].append(b)
         self._neighbors[b].append(a)
+        self._path_memo.clear()
+
+    def set_tenant_pool(self, tenant: str, rate_bps: float) -> None:
+        """Cap the total admitted bandwidth chargeable to ``tenant``."""
+        if rate_bps < 0:
+            raise ValueError(f"negative tenant pool: {rate_bps}")
+        self._tenant_pools[tenant] = float(rate_bps)
 
     @classmethod
     def from_network(cls, net, cpu_bound: float = DEFAULT_BOUND,
@@ -147,7 +179,10 @@ class AdmissionController:
     # Routing (mirrors Network.path: hosts never transit)
     # ------------------------------------------------------------------
     def path(self, src: str, dst: str) -> List[str]:
-        """Device names along the admission route src -> dst."""
+        """Device names along the admission route src -> dst (memoized)."""
+        memo = self._path_memo.get((src, dst))
+        if memo is not None:
+            return list(memo)
         if src not in self._neighbors or dst not in self._neighbors:
             raise KeyError(f"unknown endpoint in path {src!r} -> {dst!r}")
         parents: Dict[str, str] = {}
@@ -170,20 +205,48 @@ class AdmissionController:
         while hops[-1] != src:
             hops.append(parents[hops[-1]])
         hops.reverse()
-        return hops
+        self._path_memo[(src, dst)] = hops
+        return list(hops)
 
     # ------------------------------------------------------------------
-    # Books (recomputed from grants: revocation leaves no float residue)
+    # Books (cached totals; revocation recomputes, leaving no residue)
     # ------------------------------------------------------------------
     def cpu_utilization(self, host: str) -> float:
         """Admitted CPU utilization currently charged to ``host``."""
-        return sum(grant.cpu.get(host, 0.0)
-                   for grant in self._grants.values())
+        return self._cpu_totals.get(host, 0.0)
 
     def link_committed(self, a: str, b: str) -> float:
         """Admitted bits per second on the directed edge a -> b."""
-        return sum(grant.edges.get((a, b), 0.0)
-                   for grant in self._grants.values())
+        return self._edge_totals.get((a, b), 0.0)
+
+    def tenant_committed(self, tenant: str) -> float:
+        """Admitted bits per second charged to ``tenant``'s pool."""
+        return self._tenant_totals.get(tenant, 0.0)
+
+    def tenant_pool(self, tenant: str) -> Optional[float]:
+        return self._tenant_pools.get(tenant)
+
+    def _recompute_books(self) -> None:
+        """Rebuild every cached total from the live grants.
+
+        Iterates grants in insertion order, so the result is bit-for-bit
+        the same float an incremental admit sequence would produce —
+        the no-drift guarantee the property suite pins down.
+        """
+        cpu: Dict[str, float] = {}
+        edges: Dict[Edge, float] = {}
+        tenants: Dict[str, float] = {}
+        for grant in self._grants.values():
+            for host, utilization in grant.cpu.items():
+                cpu[host] = cpu.get(host, 0.0) + utilization
+            for edge, rate in grant.edges.items():
+                edges[edge] = edges.get(edge, 0.0) + rate
+            if grant.tenant is not None:
+                tenants[grant.tenant] = (
+                    tenants.get(grant.tenant, 0.0) + grant.rate_bps)
+        self._cpu_totals = cpu
+        self._edge_totals = edges
+        self._tenant_totals = tenants
 
     def admitted_ids(self) -> List[str]:
         return list(self._grants)
@@ -201,12 +264,15 @@ class AdmissionController:
         dst: Optional[str] = None,
         rate_bps: float = 0.0,
         cpu: Optional[Mapping[str, Tuple[float, float]]] = None,
+        tenant: Optional[str] = None,
     ) -> AdmissionDecision:
         """Admit ``stream_id`` or reject it without touching the books.
 
         ``rate_bps`` is checked against every directed edge on the
         ``src -> dst`` route; ``cpu`` maps host name to a ``(compute,
         period)`` reserve demand checked against that host's bound.
+        When ``tenant`` names a registered pool, the stream's end-to-end
+        rate must also fit under that tenant's cap.
         """
         if stream_id in self._grants:
             raise ValueError(f"stream {stream_id!r} already admitted")
@@ -233,6 +299,16 @@ class AdmissionController:
                 edge_demand[(upstream, downstream)] = float(rate_bps)
 
         # Check everything before committing anything.
+        if tenant is not None and tenant in self._tenant_pools \
+                and rate_bps > 0:
+            pool = self._tenant_pools[tenant]
+            after = self.tenant_committed(tenant) + rate_bps
+            if after > pool + 1e-9:
+                return self._reject(
+                    stream_id,
+                    f"tenant:{tenant} committed {after / 1e6:.2f} Mbps "
+                    f"> pool {pool / 1e6:.2f} Mbps",
+                )
         for host, utilization in cpu_demand.items():
             bound = self._cpu_bounds[host]
             after = self.cpu_utilization(host) + utilization
@@ -251,7 +327,20 @@ class AdmissionController:
                     f"{after / 1e6:.2f} Mbps > budget {budget / 1e6:.2f} Mbps",
                 )
 
-        self._grants[stream_id] = _Grant(stream_id, cpu_demand, edge_demand)
+        grant = _Grant(stream_id, cpu_demand, edge_demand,
+                       tenant=tenant, rate_bps=float(rate_bps))
+        self._grants[stream_id] = grant
+        # Incremental book update: appends the newest term to the
+        # insertion-order sum, matching _recompute_books bit-for-bit.
+        for host, utilization in cpu_demand.items():
+            self._cpu_totals[host] = (
+                self._cpu_totals.get(host, 0.0) + utilization)
+        for edge, rate in edge_demand.items():
+            self._edge_totals[edge] = (
+                self._edge_totals.get(edge, 0.0) + rate)
+        if tenant is not None:
+            self._tenant_totals[tenant] = (
+                self._tenant_totals.get(tenant, 0.0) + grant.rate_bps)
         return AdmissionDecision(stream_id, True)
 
     def _reject(self, stream_id: str, reason: str) -> AdmissionDecision:
@@ -260,4 +349,7 @@ class AdmissionController:
 
     def revoke(self, stream_id: str) -> bool:
         """Release a grant; unknown ids are a no-op (returns False)."""
-        return self._grants.pop(stream_id, None) is not None
+        if self._grants.pop(stream_id, None) is None:
+            return False
+        self._recompute_books()
+        return True

@@ -1,0 +1,571 @@
+"""Fig 10: admission control at 10^2..10^5 streams via the hybrid model.
+
+Fig 9 answers the paper's capacity question at N <= 64, the most the
+per-packet simulation affords: every background packet costs an
+enqueue, a dequeue and a transmit callback.  Fig 10 asks the same
+question at "millions of users" scale by splitting the workload:
+
+* a small **measured** cohort (a handful of admitted and rejected
+  streams) stays fully packet-simulated — real MPEG sources, real
+  fragmentation, real qdiscs, real RSVP reservations — so packet-level
+  QoS metrics (latency distributions, per-frame deadline misses) come
+  from the genuine mechanisms;
+* the remaining tens of thousands of streams and the cross traffic
+  become :class:`~repro.fluid.engine.FluidFlow` aggregates, costing one
+  share recompute per rate-change epoch instead of millions of packet
+  events, with byte/loss/latency ledgers integrated analytically.
+
+The two halves are coupled through the bottleneck's hybrid service
+model (fluid residual capacity + shared qdisc budget), and the hybrid
+is validated against the pure packet-level run at N <= 64 by
+``tests/scale/test_fig10_hybrid_validation.py`` with the error bounds
+stated there.
+
+Arms:
+
+``best-effort``
+    No admission: all N streams compete for the bottleneck.
+``reserves``
+    :class:`~repro.scale.admission.AdmissionController` with per-tenant
+    reserve pools; admitted streams get reservations, rejected ones
+    fall back to best effort.
+``adaptive``
+    Reserves plus adaptation: rejected streams shed toward the rate
+    that fits (QuO qosket for measured streams, the fluid governor for
+    aggregate ones).
+``overload``
+    Reserves under a skewed tenant storm: tenant 0 demands half the
+    streams; its pool caps the damage and the other tenants' admission
+    is unaffected — the isolation claim at scale.
+
+CPU reserves are deliberately out of the picture (``thread=None``,
+zero encode cost): fig 9 showed the encode-host utilization bound
+saturating at ~10 streams, so carrying the CPU model to N=10^5 would
+only measure that same wall.  Fig 10 isolates the *network* admission
+axis; the access fabric is provisioned to keep the shared bottleneck
+link the only contended resource.
+"""
+
+from __future__ import annotations
+
+from collections import namedtuple
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.kernel import Kernel
+from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
+from repro.oskernel.host import Host
+from repro.net.diffserv import Dscp
+from repro.net.packet import HEADER_BYTES
+from repro.avstreams.endpoints import FRAGMENT_BYTES
+from repro.net.queues import GuaranteedRateQueue
+from repro.net.topology import Network
+from repro.net.traffic import CbrTrafficSource
+from repro.orb.core import Orb
+from repro.orb.rt import DscpMapping, LinearPriorityMapping
+from repro.media.filtering import FrameFilter
+from repro.media.mpeg import MpegStream
+from repro.avstreams.service import MMDeviceServant, StreamCtrl, StreamQoS
+from repro.core.adaptation import FrameFilteringQosket
+from repro.fluid.engine import FluidEngine
+from repro.scale.admission import AdmissionController
+from repro.scale.capacity_exp import (
+    BASE_CORBA_PRIORITY,
+    DEADLINE,
+    LANE_STEP,
+    RESERVE_BPS,
+    RESERVE_BUCKET_BYTES,
+    StreamRow,
+    UTILIZATION_BOUND,
+    VIDEO_BITRATE_BPS,
+    VIDEO_FPS,
+)
+from repro.scale.clock import FrameClock
+from repro.scale.farm import FarmStreamReceiver, FarmStreamSender, stream_rng
+
+#: Nominal frame payload and its fragmentation (matches FlowProducer).
+FRAME_BYTES = int(VIDEO_BITRATE_BPS / 8.0 / VIDEO_FPS)
+_FRAGMENTS = -(-FRAME_BYTES // FRAGMENT_BYTES)  # ceil division
+#: Actual on-wire rate of one nominal stream (payload + per-fragment
+#: headers) — the rate a fluid flow must offer so the aggregate loads
+#: the bottleneck exactly like its packet-simulated counterpart.
+WIRE_RATE_BPS = (FRAME_BYTES + _FRAGMENTS * HEADER_BYTES) * 8.0 * VIDEO_FPS
+#: Mean on-wire fragment size; converts the qdisc's packet-count band
+#: budget into the byte backlog the fluid delay estimate uses.
+MEAN_FRAGMENT_BYTES = (FRAME_BYTES + _FRAGMENTS * HEADER_BYTES) / _FRAGMENTS
+#: The shared qdiscs' best-effort band budget (packets).
+BAND_CAPACITY = 200
+
+#: Fig 10 sweep defaults: a 1 Gbps bottleneck (so admission holds
+#: hundreds of reserves) swept to 10^5 offered streams.
+SCALE_BOTTLENECK_BPS = 1e9
+SCALE_CROSS_TRAFFIC_BPS = 100e6
+SCALE_TENANTS = 4
+#: Measured cohort size per class (admitted / best-effort).
+MEASURED_PER_CLASS = 4
+
+
+class ScaleArm:
+    """One fig 10 arm: admission / adaptation / tenant-skew switches."""
+
+    def __init__(self, name: str, admission: bool = False,
+                 adaptation: bool = False, overload: bool = False) -> None:
+        self.name = name
+        self.admission = bool(admission)
+        self.adaptation = bool(adaptation)
+        self.overload = bool(overload)
+
+    def __reduce__(self):
+        # Constructor-call reduce (see CapacityArm): payload bytes stay
+        # identical at any worker count.
+        return (self.__class__,
+                (self.name, self.admission, self.adaptation, self.overload))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ScaleArm):
+            return NotImplemented
+        return (self.name == other.name
+                and self.admission == other.admission
+                and self.adaptation == other.adaptation
+                and self.overload == other.overload)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"ScaleArm({self.name!r}, admission={self.admission}, "
+                f"adaptation={self.adaptation}, overload={self.overload})")
+
+
+def scale_arms() -> List[ScaleArm]:
+    return [
+        ScaleArm("best-effort"),
+        ScaleArm("reserves", admission=True),
+        ScaleArm("adaptive", admission=True, adaptation=True),
+        ScaleArm("overload", admission=True, overload=True),
+    ]
+
+
+def fig10_stream_counts() -> List[int]:
+    """The canonical N sweep: 10^2 .. 10^5 offered streams."""
+    return [100, 1000, 10_000, 100_000]
+
+
+#: Per-class aggregate over measured + fluid streams; plain data so
+#: payload bytes are stable across workers.
+ScaleClassStats = namedtuple("ScaleClassStats", [
+    "count",          # streams in the class (measured + fluid)
+    "measured",       # packet-simulated subset size
+    "mean_fps",       # delivered frames / s, averaged over the class
+    "min_fps",
+    "loss_rate",      # lost / offered (bytes for fluid, frames measured)
+    "miss_rate",      # 1 - on-time fraction of generated
+    "mean_latency",   # class mean delivery latency (s)
+    "p95_latency",    # p95 over measured deliveries (None if unmeasured)
+])
+
+
+def _tenant_of(arm: ScaleArm, index: int, streams: int, tenants: int) -> str:
+    if tenants <= 1:
+        return "t0"
+    if arm.overload and index < streams // 2:
+        # The storm: tenant 0 floods half the offered load.
+        return "t0"
+    if arm.overload:
+        return f"t{1 + index % (tenants - 1)}"
+    return f"t{index % tenants}"
+
+
+class ScaleResult:
+    """One (arm, N) fig 10 point; pickles without per-flow bulk."""
+
+    def __init__(self, arm: ScaleArm, streams: int, duration: float,
+                 deadline: float, fluid: bool, tenants: int) -> None:
+        self.arm = arm
+        self.streams = int(streams)
+        self.duration = float(duration)
+        self.deadline = float(deadline)
+        self.fluid = bool(fluid)
+        self.tenants = int(tenants)
+        self.measure_start = 0.0
+        #: Packet-simulated cohort, fig 9's row schema.
+        self.measured_rows: List[StreamRow] = []
+        #: Class aggregates over the *whole* population.
+        self.admitted_stats: Optional[ScaleClassStats] = None
+        self.best_effort_stats: Optional[ScaleClassStats] = None
+        self.admitted_count = 0
+        #: tenant -> (committed bps, pool bps or None).
+        self.tenant_books: Dict[str, Tuple[float, Optional[float]]] = {}
+        self.requests_rejected = 0
+        self.events_executed = 0
+        self.fluid_epochs = 0
+        self.governor_transitions = 0
+        self.clock_ticks = 0
+        self.bottleneck_committed_bps = 0.0
+        # Live actors, nulled before pickling.
+        self.senders: Optional[List[FarmStreamSender]] = None
+        self.receivers: Optional[List[FarmStreamReceiver]] = None
+        self.engine: Optional[FluidEngine] = None
+
+    def __getstate__(self) -> Dict[str, object]:
+        state = dict(self.__dict__)
+        state["senders"] = None
+        state["receivers"] = None
+        state["engine"] = None
+        return state
+
+    @property
+    def rejected_count(self) -> int:
+        return self.streams - self.admitted_count
+
+    def class_stats(self, admitted: bool) -> Optional[ScaleClassStats]:
+        return self.admitted_stats if admitted else self.best_effort_stats
+
+
+def _percentile(values: List[float], fraction: float) -> Optional[float]:
+    if not values:
+        return None
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def run_scale_experiment(
+    arm: ScaleArm,
+    streams: int = 100,
+    duration: float = 8.0,
+    seed: int = 1,
+    fluid: bool = True,
+    bottleneck_bps: float = SCALE_BOTTLENECK_BPS,
+    cross_traffic_bps: float = SCALE_CROSS_TRAFFIC_BPS,
+    tenants: int = SCALE_TENANTS,
+    measured_per_class: int = MEASURED_PER_CLASS,
+    deadline: float = DEADLINE,
+    checks=None,
+) -> ScaleResult:
+    """Run N offered streams through one arm, hybrid or pure packet.
+
+    ``fluid=False`` packet-simulates every stream (the validation
+    ground truth; only sensible at N <= a few hundred).  ``fluid=True``
+    packet-simulates ``measured_per_class`` streams per class and
+    models the rest as fluid aggregates.
+    """
+    if streams < 1:
+        raise ValueError(f"need at least one stream, got {streams}")
+    if measured_per_class < 1:
+        raise ValueError("need at least one measured stream per class")
+    kernel = Kernel()
+    rng = RngRegistry(seed=seed)
+    n = int(streams)
+    interval = 1.0 / VIDEO_FPS
+
+    # --- topology: like fig 9, but the access fabric is provisioned so
+    # the shared bottleneck is the only contended resource at any N.
+    access_bps = max(1e9, 2.0 * n * RESERVE_BPS)
+    load_bps = max(100e6, 2.0 * cross_traffic_bps)
+    net = Network(kernel, default_bandwidth_bps=access_bps)
+    hosts = {name: Host(kernel, name) for name in ("src", "dst", "load")}
+    for host in hosts.values():
+        net.attach_host(host)
+    router = net.add_router("router")
+
+    def q(name: str) -> GuaranteedRateQueue:
+        return GuaranteedRateQueue(kernel, band_capacity=BAND_CAPACITY,
+                                   name=name)
+
+    net.link("src", router, bandwidth_bps=access_bps,
+             qdisc_a=q("src-out"), qdisc_b=q("rtr-to-src"))
+    net.link("load", router, bandwidth_bps=load_bps,
+             qdisc_a=q("load-out"), qdisc_b=q("rtr-to-load"))
+    bottleneck = net.link(router, "dst", bandwidth_bps=bottleneck_bps,
+                          qdisc_a=q("bottleneck"), qdisc_b=q("dst-out"))
+    net.compute_routes()
+    net.enable_intserv(utilization_bound=UTILIZATION_BOUND)
+
+    # --- ORBs + A/V devices for the measured cohort -------------------
+    orbs = {name: Orb(kernel, hosts[name], net) for name in ("src", "dst")}
+    devices = {}
+    refs = {}
+    for name, orb in orbs.items():
+        device = MMDeviceServant(kernel, orb)
+        poa = orb.create_poa("av")
+        devices[name] = device
+        refs[name] = poa.activate_object(device, oid="mmdevice")
+
+    # --- admission with per-tenant pools ------------------------------
+    controller = AdmissionController.from_network(
+        net, link_bound=UTILIZATION_BOUND)
+    pool = bottleneck_bps * UTILIZATION_BOUND / max(1, tenants)
+    for j in range(max(1, tenants)):
+        controller.set_tenant_pool(f"t{j}", pool)
+
+    plans = []  # (name, tenant, corba, admitted)
+    for i in range(n):
+        name = f"s{i:05d}"
+        tenant = _tenant_of(arm, i, n, max(1, tenants))
+        admitted = False
+        corba = None
+        if arm.admission:
+            decision = controller.request(
+                name, src="src", dst="dst", rate_bps=RESERVE_BPS,
+                tenant=tenant)
+            admitted = decision.admitted
+            if admitted:
+                corba = BASE_CORBA_PRIORITY - (i % 1024) * (LANE_STEP // 5)
+        plans.append((name, tenant, corba, admitted))
+
+    # --- split the population: measured packet cohort vs fluid bulk ---
+    measured_idx = []
+    if fluid:
+        admitted_taken = 0
+        rejected_taken = 0
+        for i, (_nm, _tn, _cp, admitted) in enumerate(plans):
+            if admitted and admitted_taken < measured_per_class:
+                measured_idx.append(i)
+                admitted_taken += 1
+            elif not admitted and rejected_taken < measured_per_class:
+                measured_idx.append(i)
+                rejected_taken += 1
+            if (admitted_taken >= measured_per_class
+                    and rejected_taken >= measured_per_class):
+                break
+    else:
+        measured_idx = list(range(n))
+    measured = set(measured_idx)
+
+    # --- fluid engine + aggregate flows -------------------------------
+    engine: Optional[FluidEngine] = None
+    if fluid:
+        engine = FluidEngine(kernel, quantum=1e-3)
+        fl_bott = engine.attach_interface(
+            "router->dst", bottleneck.a,
+            queue_bytes=BAND_CAPACITY * MEAN_FRAGMENT_BYTES)
+        for i, (name, tenant, _corba, admitted) in enumerate(plans):
+            if i in measured:
+                fl_bott.register_packet_load(WIRE_RATE_BPS,
+                                             reserved=admitted)
+                continue
+            engine.add_flow(
+                name, WIRE_RATE_BPS, [fl_bott], reserved=admitted,
+                adaptive=arm.adaptation and not admitted, tenant=tenant,
+                deadline=deadline)
+        if cross_traffic_bps > 0:
+            engine.add_flow("cross", cross_traffic_bps, [fl_bott])
+    elif cross_traffic_bps > 0:
+        cross = CbrTrafficSource(kernel, net.nic_of("load"), "dst",
+                                 cross_traffic_bps, dscp=Dscp.BE)
+        cross.start()
+
+    # --- bind the measured cohort, then start the shared clock --------
+    result = ScaleResult(arm, n, duration, deadline, fluid, max(1, tenants))
+    clock = FrameClock(kernel, interval)
+    ctrl = StreamCtrl(kernel, orbs["src"])
+    native_mapping = LinearPriorityMapping()
+    dscp_mapping = DscpMapping()
+    senders: List[FarmStreamSender] = []
+    receivers: List[FarmStreamReceiver] = []
+    measured_plan = [plans[i] for i in measured_idx]
+
+    def driver():
+        for name, _tenant, corba, admitted in measured_plan:
+            if admitted:
+                dscp = dscp_mapping.to_dscp(
+                    corba if corba is not None else BASE_CORBA_PRIORITY)
+                qos = StreamQoS(dscp=dscp, reserve_rate_bps=RESERVE_BPS,
+                                bucket_bytes=RESERVE_BUCKET_BYTES,
+                                mandatory=True)
+            else:
+                qos = StreamQoS(dscp=Dscp.BE)
+            yield from ctrl.bind(name, refs["src"], refs["dst"], qos)
+            producer = devices["src"].producer(name)
+            consumer = devices["dst"].consumer(name)
+            stream = MpegStream(name, bitrate_bps=VIDEO_BITRATE_BPS,
+                                fps=VIDEO_FPS, rng=stream_rng(rng, name))
+            frame_filter = None
+            qosket = None
+            if arm.adaptation and not admitted:
+                frame_filter = FrameFilter()
+                qosket = FrameFilteringQosket(
+                    kernel, frame_filter, name=f"qosket:{name}",
+                    degrade_threshold=0.05)
+            sender = FarmStreamSender(
+                kernel, producer, stream, thread=None, encode_cost=0.0,
+                frame_filter=frame_filter, qosket=qosket)
+            receiver = FarmStreamReceiver(kernel, consumer, sender, deadline)
+            senders.append(sender)
+            receivers.append(receiver)
+            clock.subscribe(sender.on_tick)
+            sender.start()
+        result.measure_start = kernel.now
+        clock.start()
+
+    if checks is not None:
+        from repro.check.world import World
+        checks.install(World(kernel, network=net,
+                             hosts=list(hosts.values()),
+                             admission=controller, fluid=engine))
+
+    Process(kernel, driver(), name="scale-driver")
+    kernel.run(until=duration)
+    if engine is not None:
+        engine.finalize()
+    if checks is not None:
+        checks.final_check()
+    if len(senders) != len(measured_plan):
+        raise RuntimeError(
+            f"measured setup failed for arm {arm.name!r}: "
+            f"{len(senders)}/{len(measured_plan)} streams bound")
+
+    # --- capture: measured rows ---------------------------------------
+    window = duration - result.measure_start
+    admitted_flags = {}
+    for sender, receiver, (name, _tenant, corba, admitted) in zip(
+            senders, receivers, measured_plan):
+        sender.stop()
+        delivered = receiver.frames_delivered
+        generated = sender.frames_generated
+        result.measured_rows.append(StreamRow(
+            name=name,
+            admitted=admitted,
+            corba_priority=corba,
+            generated=generated,
+            filtered=sender.frames_filtered,
+            skipped=sender.frames_skipped,
+            sent=sender.frames_sent,
+            delivered=delivered,
+            on_time=receiver.frames_on_time,
+            fps=delivered / window if window > 0 else 0.0,
+            miss_rate=(1.0 - receiver.frames_on_time / generated
+                       if generated else 0.0),
+            mean_latency=(receiver.latency.stats().mean
+                          if delivered else 0.0),
+        ))
+        admitted_flags[name] = admitted
+
+    # --- capture: per-class aggregates over the whole population ------
+    wire_frame_bytes = WIRE_RATE_BPS / 8.0 / VIDEO_FPS
+    for admitted in (True, False):
+        count = 0
+        fps_values: List[float] = []
+        offered = served = lost = on_time_generated = generated_total = 0.0
+        latency_sum = 0.0
+        latencies: List[float] = []
+        for row in result.measured_rows:
+            if row.admitted != admitted:
+                continue
+            count += 1
+            fps_values.append(row.fps)
+            offered += row.sent
+            served += row.delivered
+            lost += row.sent - row.delivered
+            generated_total += row.generated
+            on_time_generated += row.on_time
+            latency_sum += row.mean_latency
+            if row.delivered:
+                latencies.append(row.mean_latency)
+        measured_count = count
+        if engine is not None:
+            for flow in engine.flows():
+                if flow.name == "cross" or flow.reserved != admitted:
+                    continue
+                count += 1
+                active = flow.active_seconds or duration
+                fps_values.append(
+                    flow.served_bytes / wire_frame_bytes / active
+                    if active > 0 else 0.0)
+                if flow.offered_bytes > 0:
+                    offered += flow.offered_bytes / wire_frame_bytes
+                    served += flow.served_bytes / wire_frame_bytes
+                    lost += flow.lost_bytes / wire_frame_bytes
+                    nominal = flow.offered_bytes + flow.shed_bytes
+                    generated_total += nominal / wire_frame_bytes
+                    on_time_generated += (flow.served_on_time_bytes
+                                          / wire_frame_bytes)
+                latency_sum += flow.mean_latency
+        if count == 0:
+            stats = None
+        else:
+            stats = ScaleClassStats(
+                count=count,
+                measured=measured_count,
+                mean_fps=sum(fps_values) / count,
+                min_fps=min(fps_values),
+                loss_rate=lost / offered if offered > 0 else 0.0,
+                miss_rate=(1.0 - on_time_generated / generated_total
+                           if generated_total > 0 else 0.0),
+                mean_latency=latency_sum / count,
+                p95_latency=_percentile(latencies, 0.95),
+            )
+        if admitted:
+            result.admitted_stats = stats
+        else:
+            result.best_effort_stats = stats
+
+    result.admitted_count = sum(
+        1 for (_n, _t, _c, admitted) in plans if admitted)
+    for j in range(max(1, tenants)):
+        tenant = f"t{j}"
+        result.tenant_books[tenant] = (
+            controller.tenant_committed(tenant),
+            controller.tenant_pool(tenant))
+    result.requests_rejected = controller.requests_rejected
+    result.bottleneck_committed_bps = controller.link_committed(
+        "router", "dst")
+    result.events_executed = kernel.events_executed
+    result.clock_ticks = clock.ticks
+    if engine is not None:
+        result.fluid_epochs = engine.epochs
+        result.governor_transitions = engine.governor_transitions
+        engine.close()
+    result.senders = senders
+    result.receivers = receivers
+    result.engine = engine
+    return result
+
+
+# ----------------------------------------------------------------------
+# Rendering (shared by the CLI and the fig10 benchmark)
+# ----------------------------------------------------------------------
+def render_fig10_scale(sweeps: "Dict[str, List[ScaleResult]]") -> str:
+    """The fig 10 text figure: one table per arm + tenant isolation recap."""
+    from repro.experiments.reporting import render_table
+
+    def fps(stats: Optional[ScaleClassStats]) -> str:
+        return f"{stats.mean_fps:.2f}" if stats else "-"
+
+    def pct(stats: Optional[ScaleClassStats], field: str) -> str:
+        return f"{getattr(stats, field) * 100:.1f}%" if stats else "-"
+
+    sections = []
+    overload: Optional[ScaleResult] = None
+    for arm_name, results in sweeps.items():
+        rows = []
+        for result in results:
+            adm = result.admitted_stats
+            be = result.best_effort_stats
+            rows.append((
+                result.streams,
+                result.admitted_count,
+                fps(adm),
+                pct(adm, "miss_rate"),
+                fps(be),
+                pct(be, "loss_rate"),
+                pct(be, "miss_rate"),
+                result.fluid_epochs,
+                result.events_executed,
+            ))
+            if arm_name == "overload":
+                overload = result
+        table = render_table(
+            ("streams", "admitted", "adm fps", "adm miss",
+             "b/e fps", "b/e loss", "b/e miss", "epochs", "events"),
+            rows)
+        sections.append(f"Fig 10 — hybrid scale sweep — {arm_name}\n{table}")
+
+    if overload is not None:
+        lines = [f"tenant isolation under overload (N={overload.streams}, "
+                 f"tenant 0 floods {overload.streams // 2} streams):"]
+        for tenant, (committed, pool) in sorted(overload.tenant_books.items()):
+            cap = f"{pool / 1e6:.1f}" if pool is not None else "-"
+            lines.append(
+                f"  {tenant}: committed {committed / 1e6:>7.1f} / "
+                f"{cap} Mbps pool")
+        sections.append("\n".join(lines))
+    return "\n\n".join(sections)

@@ -61,6 +61,14 @@ def _mixed_specs(seed):
                 {"arm": {"name": "adaptive", "priorities": True,
                          "admission": True, "adaptation": True},
                  "streams": 3, "duration": 3.0}, seed=seed),
+        # Fig 10 hybrid arms: the fluid engine's analytic ledgers must
+        # round-trip workers bit-identically like packet payloads do.
+        RunSpec("scale",
+                {"arm": {"name": "reserves", "admission": True,
+                         "adaptation": False, "overload": False},
+                 "streams": 40, "duration": 2.0, "fluid": True,
+                 "bottleneck_bps": 10e6, "cross_traffic_bps": 4e6},
+                seed=seed),
     ]
 
 
@@ -88,7 +96,8 @@ def test_results_come_back_in_spec_order(tmp_path):
     results = runner.run(specs)
     assert [r.spec for r in results] == specs
     assert [r.cached for r in results] == [False, False, True, False,
-                                           False, False, False, False]
+                                           False, False, False, False,
+                                           False]
 
 
 def test_unknown_scenario_is_an_error(tmp_path):

@@ -36,12 +36,14 @@ from repro.experiments.scenario_registry import (
     fault_arm_params,
     network_arm_params,
     priority_arm_params,
+    scale_arm_params,
 )
 from repro.experiments.priority_exp import PriorityArm
 from repro.experiments.reservation_cpu_exp import CpuArm
 from repro.experiments.reservation_net_exp import NetworkArm
 from repro.experiments.fault_exp import FaultArm
 from repro.scale.capacity_exp import CapacityArm
+from repro.scale.fig10 import ScaleArm
 from repro.check.soak import generate_case
 from repro.sim import Kernel, TickCoalescer
 from repro.sim.eventq import SCHEDULER_BACKENDS, SCHEDULER_ENV
@@ -73,6 +75,12 @@ def _parity_specs():
             {"arm": capacity_arm_params(
                 CapacityArm("adaptive", True, True, True)),
              "streams": 4, "duration": 4.0}, seed=1),
+        "scale": RunSpec(
+            "scale",
+            {"arm": scale_arm_params(
+                ScaleArm("adaptive", admission=True, adaptation=True)),
+             "streams": 40, "duration": 2.0, "fluid": True,
+             "bottleneck_bps": 10e6, "cross_traffic_bps": 4e6}, seed=1),
         "soak_case": RunSpec(
             "soak_case",
             {"case": generate_case(1, 0, duration=3.0, max_streams=4)}),
