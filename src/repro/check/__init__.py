@@ -27,6 +27,7 @@ from repro.check.invariants import (
     PacketConservationChecker,
     QdiscAccountingChecker,
     ReserveLedgerChecker,
+    RoutingChecker,
     ThreadStateChecker,
     TimeMonotonicityChecker,
     TokenBucketChecker,
@@ -52,6 +53,7 @@ __all__ = [
     "ReserveLedgerChecker",
     "PacketConservationChecker",
     "ContractChecker",
+    "RoutingChecker",
     "ThreadStateChecker",
     "default_suite",
     "generate_case",

@@ -42,6 +42,7 @@ __all__ = [
     "ContractChecker",
     "ThreadStateChecker",
     "FluidConservationChecker",
+    "RoutingChecker",
     "default_suite",
 ]
 
@@ -422,11 +423,13 @@ class ReserveLedgerChecker(InvariantChecker):
                     reserved=reserved, capacity=capacity,
                 )
 
+    _NET_KINDS = frozenset(("rsvp.expire", "rsvp.release"))
+
     def on_event(self, record: TraceRecord) -> None:
         if record.layer == "os":
             if record.kind in self._OS_KINDS:
                 self._check_cpu_ledgers()
-        elif record.kind == "rsvp.expire":
+        elif record.kind in self._NET_KINDS:
             self._check_rsvp_ledgers()
 
     def final_check(self) -> None:
@@ -793,6 +796,137 @@ class FluidConservationChecker(InvariantChecker):
         self._check_all()
 
 
+class RoutingChecker(InvariantChecker):
+    """Forwarding tables stay sane through topology changes.
+
+    * On every ``spf.install`` record the emitting router's table is
+      verified: each egress interface belongs to that router and its
+      link is up (the engine must never install a route onto a link it
+      just learned is dead).
+    * At teardown, when the network is quiescent, the composed tables
+      are walked per destination: following next hops must never
+      revisit a router (no forwarding loops).  Dead ends are legal —
+      an unreachable destination drops packets through the accounted
+      ``unroutable`` path — but cycles would blackhole traffic with no
+      accounted fate.
+    * When a live :class:`~repro.net.routing.LinkStateRouting` engine
+      is registered on the world, each node's installed table is also
+      recomputed from its *own* LSDB and required to match — the
+      distributed state and the forwarding plane may not drift apart.
+
+    The teardown walks only run when the protocol has converged (all
+    LSDBs equal, no SPF timer pending): a run that ends mid-flood may
+    legally hold transient micro-loops, exactly like a real IGP.
+    """
+
+    name = "routing"
+    layers = ("net",)
+
+    def _check_installed(self, router) -> None:
+        for dst, egress in router.routes.items():
+            label = f"{egress.owner.name}.{egress.name}"
+            self.require(
+                egress.owner is router,
+                "route egress belongs to another device",
+                router=router.name, dst=dst, iface=label,
+            )
+            self.require(
+                egress.link is not None and egress.link.up,
+                "route installed onto a dead link",
+                router=router.name, dst=dst, iface=label,
+            )
+
+    def on_event(self, record: TraceRecord) -> None:
+        if record.kind != "spf.install":
+            return
+        network = self.world.network if self.world is not None else None
+        if network is None:
+            return
+        name = (record.fields or {}).get("router")
+        if name is None:
+            return
+        self._check_installed(network.device(name))
+
+    # ------------------------------------------------------------------
+    def _converged(self, routing) -> bool:
+        """All LSDBs identical (by origin -> seq) and no SPF pending."""
+        reference = None
+        for node in routing.nodes.values():
+            if node.spf_pending:
+                return False
+            seqs = {origin: lsa.seq for origin, lsa in node.lsdb.items()}
+            if reference is None:
+                reference = seqs
+            elif seqs != reference:
+                return False
+        return True
+
+    def _walk_tables(self, network) -> None:
+        from repro.net.router import Router
+
+        limit = len(network.routers) + 2
+        for router in network.routers:
+            for dst, egress in router.routes.items():
+                seen = {router.name}
+                iface = egress
+                hops = 0
+                while iface is not None:
+                    link = iface.link
+                    if link is None or not link.up:
+                        break  # parks in a queue; not a loop
+                    nxt = iface.peer.owner
+                    if not isinstance(nxt, Router):
+                        break  # delivered (or undeliverable) at a NIC
+                    if nxt.name in seen:
+                        self.fail(
+                            "forwarding loop",
+                            dst=dst, start=router.name, at=nxt.name,
+                            cycle=sorted(seen),
+                        )
+                    seen.add(nxt.name)
+                    iface = nxt.routes.get(dst)
+                    hops += 1
+                    if hops > limit:  # pragma: no cover - defensive
+                        self.fail("forwarding walk did not terminate",
+                                  dst=dst, start=router.name)
+
+    def _check_lsdb_consistency(self, network, routing) -> None:
+        from repro.net.routing import spf_first_hops
+
+        for name in sorted(routing.nodes):
+            node = routing.nodes[name]
+            table = spf_first_hops(node.lsdb, name)
+            adjacency = dict(network._adjacency[name])
+            expected = {}
+            for dst in sorted(table):
+                if dst in routing.nodes:
+                    continue
+                _, first_hop = table[dst]
+                egress = adjacency.get(first_hop)
+                if egress is not None and egress.link is not None \
+                        and egress.link.up:
+                    expected[dst] = egress
+            self.require(
+                node.router.routes == expected,
+                "installed routes drifted from the node's own LSDB",
+                router=name,
+                installed=sorted(node.router.routes),
+                expected=sorted(expected),
+            )
+
+    def final_check(self) -> None:
+        network = self.world.network if self.world is not None else None
+        if network is None:
+            return
+        routing = getattr(self.world, "routing", None)
+        if routing is None:
+            self._walk_tables(network)
+            return
+        if self._converged(routing):
+            self._walk_tables(network)
+            self._check_lsdb_consistency(network, routing)
+
+
 def default_suite() -> CheckSuite:
     """All built-in monitors, ready to ``install`` on a world."""
     return CheckSuite([
@@ -804,4 +938,5 @@ def default_suite() -> CheckSuite:
         ContractChecker(),
         ThreadStateChecker(),
         FluidConservationChecker(),
+        RoutingChecker(),
     ])

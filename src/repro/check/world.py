@@ -46,6 +46,9 @@ class World:
     fluid:
         Optional :class:`~repro.fluid.engine.FluidEngine` (hybrid
         scenarios); enables the fluid conservation-ledger checks.
+    routing:
+        Optional :class:`~repro.net.routing.LinkStateRouting`; enables
+        the LSDB-vs-installed-table consistency checks.
     """
 
     def __init__(
@@ -56,6 +59,7 @@ class World:
         contracts: Iterable["Contract"] = (),
         admission=None,
         fluid=None,
+        routing=None,
     ) -> None:
         self.kernel = kernel
         self.network = network
@@ -63,6 +67,7 @@ class World:
         self.contracts: List["Contract"] = list(contracts)
         self.admission = admission
         self.fluid = fluid
+        self.routing = routing
 
     # ------------------------------------------------------------------
     # Discovery walks

@@ -17,6 +17,7 @@ Examples::
     python -m repro table2 --duration 60
     python -m repro fig7 --arm 5-partial-filtering
     python -m repro faults --duration 60
+    python -m repro route --routers 120 --topology wan
     python -m repro --jobs 4 bench
 """
 
@@ -56,6 +57,7 @@ from repro.experiments.scenario_registry import (
     figure_specs,
     network_arm_params,
     priority_arm_params,
+    route_arm_params,
     scale_arm_params,
 )
 
@@ -197,6 +199,54 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             rows = result.cumulative_counts(bin_width=args.duration / 30)
             print()
             print(ascii_cumulative(f"Fig 8 — {arm.name}", rows))
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    """Fig 11: fps held through a backbone cut, four recovery arms."""
+    from repro.experiments.route_exp import route_arms
+
+    arms = route_arms()
+    if args.arm is not None:
+        matches = [arm for arm in arms if arm.name == args.arm]
+        if not matches:
+            names = ", ".join(arm.name for arm in arms)
+            raise SystemExit(
+                f"unknown arm {args.arm!r}; choose from: {names}")
+        arms = matches
+    print(f"running {', '.join(arm.name for arm in arms)} on a "
+          f"{args.routers}-router {args.topology} topology "
+          f"({args.duration:.0f}s simulated) ...", file=sys.stderr)
+    payloads = _runner(args).payloads([
+        RunSpec("route",
+                {"arm": route_arm_params(arm), "routers": args.routers,
+                 "topology": args.topology, "duration": args.duration},
+                seed=args.seed)
+        for arm in arms
+    ])
+    first = payloads[0]
+    print(f"topology: {first.topology}, {first.router_count} routers, "
+          f"{first.link_count} links")
+    print(f"primary path: {' -> '.join(first.primary_path)}")
+    print(f"backbone cut at t={first.fail_at:g}s: "
+          f"{first.backbone[0]}-{first.backbone[1]} "
+          f"(cross traffic on {first.detour_edge[0]}-"
+          f"{first.detour_edge[1]})")
+    print()
+    header = (f"{'arm':<20} {'pre-fail fps':>12} {'recovery fps':>12} "
+              f"{'spf':>5} {'lsas':>6} {'resig':>5} {'unroutable':>10}")
+    print(header)
+    print("-" * len(header))
+    for arm, result in zip(arms, payloads):
+        print(f"{arm.name:<20} {result.pre_fail_fps():>12.2f} "
+              f"{result.recovery_rate_fps():>12.2f} "
+              f"{result.spf_runs:>5} {result.lsas_flooded:>6} "
+              f"{result.resignal_rounds:>5} {result.unroutable_drops:>10}")
+    if args.chart:
+        for arm, result in zip(arms, payloads):
+            rows = result.cumulative_counts(bin_width=args.duration / 30)
+            print()
+            print(ascii_cumulative(f"Fig 11 — {arm.name}", rows))
     return 0
 
 
@@ -545,6 +595,21 @@ def build_parser() -> argparse.ArgumentParser:
             "fault-injection experiment (fig 8 chaos arms)", 120.0)
     p.add_argument("--arm", default=None,
                    help="run a single arm (static or adaptive)")
+    p.add_argument("--chart", action="store_true",
+                   help="also draw ASCII cumulative-delivery charts")
+
+    p = add("route", _cmd_route,
+            "fig 11 rerouting gauntlet (backbone cut on a generated "
+            "topology, four recovery arms)", 40.0)
+    p.add_argument("--routers", type=int, default=56,
+                   help="router count for the generated topology "
+                        "(default 56; the family spans 50-500)")
+    p.add_argument("--topology", default="waxman",
+                   choices=["waxman", "fattree", "wan"],
+                   help="topology generator (default waxman)")
+    p.add_argument("--arm", default=None,
+                   help="run a single arm (static, static-resignal, "
+                        "dynamic, dynamic-resignal)")
     p.add_argument("--chart", action="store_true",
                    help="also draw ASCII cumulative-delivery charts")
 

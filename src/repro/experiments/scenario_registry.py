@@ -33,6 +33,11 @@ from repro.experiments.reservation_net_exp import (
     all_arms as net_all_arms,
     run_network_reservation_experiment,
 )
+from repro.experiments.route_exp import (
+    RouteArm,
+    route_arms,
+    run_route_experiment,
+)
 from repro.scale.capacity_exp import (
     CapacityArm,
     all_arms as capacity_all_arms,
@@ -102,6 +107,17 @@ def _faults(arm: Dict[str, Any], seed: int = 1, **kwargs: Any):
     """Fig 8 chaos arms: frame delivery under injected faults."""
     return run_fault_injection_experiment(FaultArm(**arm), seed=seed,
                                           **kwargs)
+
+
+def route_arm_params(arm: RouteArm) -> Dict[str, Any]:
+    return {"name": arm.name, "dynamic": arm.dynamic,
+            "resignal": arm.resignal}
+
+
+@scenario("route")
+def _route(arm: Dict[str, Any], seed: int = 1, **kwargs: Any):
+    """Fig 11 rerouting arms: fps held through a backbone failure."""
+    return run_route_experiment(RouteArm(**arm), seed=seed, **kwargs)
 
 
 def capacity_arm_params(arm: CapacityArm) -> Dict[str, Any]:
@@ -228,6 +244,12 @@ def figure_specs() -> "Dict[str, list]":
                      "duration": 8.0, "fluid": True}, seed=1)
             for arm in scale_arms()
             for count in fig10_stream_counts()
+        ],
+        "fig11_route": [
+            RunSpec("route",
+                    {"arm": route_arm_params(arm), "routers": 56,
+                     "duration": 40.0}, seed=1)
+            for arm in route_arms()
         ],
         "table1_network_reservation": [
             net_spec(arm) for arm in net_all_arms()

@@ -149,6 +149,10 @@ class FaultInjector:
         link = self._link_for(event)
         return link.fail, link.restore
 
+    def _compile_link_down(self, event):
+        link = self._link_for(event)
+        return link.fail, lambda: None
+
     def _compile_loss_burst(self, event):
         link = self._link_for(event)
         if self.rng is None:

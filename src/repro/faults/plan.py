@@ -13,6 +13,11 @@ Supported event kinds
 ``link_flap``
     Hard outage of one link: ``fail()`` at ``at``, ``restore()`` at
     ``at + duration``.
+``link_down``
+    Permanent outage of one link: ``fail()`` at ``at`` with no
+    restore.  The backbone-failure event of the fig11 rerouting
+    scenarios — recovery must come from the routing plane, not the
+    fault clearing.
 ``loss_burst``
     Correlated random loss on one link: every packet crossing the
     link during the window is dropped with probability ``loss``
@@ -45,6 +50,7 @@ __all__ = ["FaultEvent", "FaultPlan", "KINDS"]
 #: kind -> (required fields, optional fields with defaults)
 KINDS: Dict[str, Tuple[Tuple[str, ...], Dict[str, Any]]] = {
     "link_flap": (("link", "at", "duration"), {}),
+    "link_down": (("link", "at"), {}),
     "loss_burst": (("link", "at", "duration", "loss"), {}),
     "link_degrade": (("link", "at", "duration", "factor"), {}),
     "node_crash": (("node", "at", "duration"), {"lose_state": True}),

@@ -20,7 +20,14 @@ Layering (bottom up):
 
 ``topology``
     The :class:`Network` builder: attach hosts, create routers, wire
-    duplex links, compute shortest-path routes.
+    duplex links, compute shortest-path routes.  Also the topology
+    generators (Waxman, fat-tree, multi-PoP WAN) the scale scenarios
+    build on.
+
+``routing``
+    Dynamic link-state routing: LSA flooding, Dijkstra SPF with
+    deterministic tie-breaks, and RSVP make-before-break re-signaling
+    on convergence.
 
 ``transport``
     UDP-like datagram sockets and a TCP-like reliable, in-order stream
@@ -52,7 +59,22 @@ from repro.net.queues import (
     TokenBucket,
 )
 from repro.net.router import Router
-from repro.net.topology import Network
+from repro.net.routing import (
+    LinkStateRouting,
+    Lsa,
+    ReservationResignaler,
+    install_spf_routes,
+    predict_path,
+    spf_first_hops,
+)
+from repro.net.topology import (
+    GeneratedTopology,
+    Network,
+    fat_tree_topology,
+    generate_topology,
+    wan_topology,
+    waxman_topology,
+)
 from repro.net.traffic import CbrTrafficSource, PoissonTrafficSource
 from repro.net.transport import DatagramSocket, StreamConnection, StreamListener
 
@@ -63,9 +85,12 @@ __all__ = [
     "Dscp",
     "FifoQueue",
     "FlowSpec",
+    "GeneratedTopology",
     "GuaranteedRateQueue",
     "Interface",
     "Link",
+    "LinkStateRouting",
+    "Lsa",
     "Network",
     "Nic",
     "Packet",
@@ -75,10 +100,18 @@ __all__ = [
     "QueueDiscipline",
     "Reservation",
     "ReservationError",
+    "ReservationResignaler",
     "Router",
     "RsvpAgent",
     "StreamConnection",
     "StreamListener",
     "TokenBucket",
     "classify",
+    "fat_tree_topology",
+    "generate_topology",
+    "install_spf_routes",
+    "predict_path",
+    "spf_first_hops",
+    "wan_topology",
+    "waxman_topology",
 ]

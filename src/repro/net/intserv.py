@@ -16,6 +16,16 @@ RESV, transit state that stops being refreshed expires after
 ``LIFETIME_MULTIPLIER`` missed refreshes, and teardown re-sends its
 TEAR a bounded number of times so a single lost TEAR no longer strands
 ``reserved_rate`` at transit routers forever.
+
+Fast reroute is make-before-break: after the routing layer
+re-converges, :meth:`RsvpAgent.resignal` re-sends PATH under a bumped
+*epoch*; the receiver answers with a RESV that installs along the new
+egress, and only once the sender confirms does the receiver TEAR the
+superseded epoch — forwarded hop-by-hop along the *old* reverse path,
+so a late TEAR can never remove the new installation.  Installed rate
+on an interface whose link dies is additionally released synchronously
+(:meth:`RsvpAgent.on_link_down`), keeping the admission ledger exact
+through crash/reroute/re-admit sequences.
 """
 
 from __future__ import annotations
@@ -60,9 +70,15 @@ class FlowSpec:
 
 
 class _RsvpMsg:
-    """Payload of an RSVP signaling packet."""
+    """Payload of an RSVP signaling packet.
 
-    __slots__ = ("kind", "flow_id", "sender", "receiver", "flowspec", "reason")
+    ``epoch`` is the make-before-break generation: re-signaling after a
+    reroute bumps it, so state along the old path (and the TEAR that
+    eventually removes it) can never clobber the new installation.
+    """
+
+    __slots__ = ("kind", "flow_id", "sender", "receiver", "flowspec",
+                 "reason", "epoch")
 
     def __init__(
         self,
@@ -72,6 +88,7 @@ class _RsvpMsg:
         receiver: str,
         flowspec: Optional[FlowSpec] = None,
         reason: str = "",
+        epoch: int = 0,
     ) -> None:
         self.kind = kind  # PATH | RESV | RESV_ERR | TEAR
         self.flow_id = flow_id
@@ -79,6 +96,7 @@ class _RsvpMsg:
         self.receiver = receiver
         self.flowspec = flowspec
         self.reason = reason
+        self.epoch = epoch
 
 
 class Reservation:
@@ -159,6 +177,13 @@ class RsvpAgent:
         self._announced: Dict[str, str] = {}
         # flow_id -> sender host name, learned from PATH messages
         self._flow_sender: Dict[str, str] = {}
+        # flow_id -> current make-before-break epoch
+        self._flow_epoch: Dict[str, int] = {}
+        # flow_id -> (epoch, toward-sender, data-egress) of the path a
+        # newer epoch superseded; kept so the old path's TEAR can be
+        # forwarded hop-by-hop along the route it actually took.
+        self._prev_path: Dict[str, Tuple[int, Optional[Interface],
+                                         Optional[Interface]]] = {}
         # soft state: flow_id -> last refresh time / armed expiry event
         self._last_refresh: Dict[str, float] = {}
         self._expiry_events: Dict[str, ScheduledEvent] = {}
@@ -185,7 +210,8 @@ class RsvpAgent:
         nic = self._nic()
         self._announced[flow_id] = receiver_host
         msg = _RsvpMsg("PATH", flow_id, sender=nic.host.name,
-                       receiver=receiver_host)
+                       receiver=receiver_host,
+                       epoch=self._flow_epoch.setdefault(flow_id, 0))
         self._emit(msg, dst=receiver_host)
         if self.refresh_interval is not None \
                 and flow_id not in self._path_refresh_events:
@@ -198,10 +224,38 @@ class RsvpAgent:
             self._path_refresh_events.pop(flow_id, None)
             return
         msg = _RsvpMsg("PATH", flow_id, sender=self._nic().host.name,
-                       receiver=receiver_host)
+                       receiver=receiver_host,
+                       epoch=self._flow_epoch.get(flow_id, 0))
         self._emit(msg, dst=receiver_host)
         self._path_refresh_events[flow_id] = self.kernel.schedule(
             self.refresh_interval, self._refresh_path, flow_id)
+
+    def resignal(self, flow_id: str) -> None:
+        """Sender side: re-announce ``flow_id`` under a bumped epoch.
+
+        The make-before-break entry point (typically driven by SPF
+        convergence): the new PATH records state along the *current*
+        routes, the receiver answers with a RESV that installs on the
+        new path, and once the sender confirms, the receiver tears the
+        superseded path down behind it.
+        """
+        receiver_host = self._announced.get(flow_id)
+        if receiver_host is None:
+            return
+        epoch = self._flow_epoch.get(flow_id, 0) + 1
+        self._flow_epoch[flow_id] = epoch
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.instant("net", "rsvp.resignal", flow=f"rsvp:{flow_id}",
+                           node=self._name(), epoch=epoch)
+        msg = _RsvpMsg("PATH", flow_id, sender=self._nic().host.name,
+                       receiver=receiver_host, epoch=epoch)
+        self._emit(msg, dst=receiver_host)
+
+    def resignal_all(self) -> None:
+        """Re-announce every announced flow (deterministic order)."""
+        for flow_id in sorted(self._announced):
+            self.resignal(flow_id)
 
     def reserve(self, flow_id: str, flowspec: FlowSpec) -> Reservation:
         """Receiver side: request a reservation for an announced flow.
@@ -239,7 +293,8 @@ class RsvpAgent:
             sender = self._sender_of(flow_id)
             msg = _RsvpMsg("RESV", flow_id, sender=sender,
                            receiver=self._name(),
-                           flowspec=reservation.flowspec)
+                           flowspec=reservation.flowspec,
+                           epoch=self._flow_epoch.get(flow_id, 0))
             toward_sender, _ = self._path_state[flow_id]
             self._forward_out(msg, toward_sender, dst=sender)
         self._resv_refresh_events[flow_id] = self.kernel.schedule(
@@ -261,6 +316,7 @@ class RsvpAgent:
         self._remove_local(flow_id)
         toward_sender, _ = self._path_state.get(flow_id, (None, None))
         self._send_tear(flow_id, sender, toward_sender,
+                        epoch=self._flow_epoch.get(flow_id, 0),
                         resends_left=self.TEAR_RESENDS)
 
     def _send_tear(
@@ -268,15 +324,16 @@ class RsvpAgent:
         flow_id: str,
         sender: str,
         toward_sender: Optional[Interface],
+        epoch: int,
         resends_left: int,
     ) -> None:
         msg = _RsvpMsg("TEAR", flow_id, sender=sender,
-                       receiver=self._name())
+                       receiver=self._name(), epoch=epoch)
         self._forward_out(msg, toward_sender, dst=sender)
         if resends_left > 0:
             self.kernel.schedule(
                 self.TEAR_RESEND_INTERVAL, self._send_tear, flow_id,
-                sender, toward_sender, resends_left - 1)
+                sender, toward_sender, epoch, resends_left - 1)
 
     # ------------------------------------------------------------------
     # Message processing
@@ -287,21 +344,50 @@ class RsvpAgent:
         router = self.device
         assert isinstance(router, Router)
         if msg.kind == "PATH":
-            egress = router.egress_for(msg.receiver)
-            self._path_state[msg.flow_id] = (ingress, egress)
-            self._flow_sender[msg.flow_id] = msg.sender
-            self._touch(msg.flow_id)
+            flow_id = msg.flow_id
+            current_epoch = self._flow_epoch.get(flow_id)
+            if current_epoch is None or msg.epoch >= current_epoch:
+                if current_epoch is not None and msg.epoch > current_epoch:
+                    old = self._path_state.get(flow_id)
+                    if old is not None:
+                        self._prev_path[flow_id] = (
+                            current_epoch, old[0], old[1])
+                self._flow_epoch[flow_id] = msg.epoch
+                egress = router.egress_for(msg.receiver)
+                self._path_state[flow_id] = (ingress, egress)
+                self._flow_sender[flow_id] = msg.sender
+                self._touch(flow_id)
             router.forward(packet)
         elif msg.kind == "RESV":
+            if msg.epoch < self._flow_epoch.get(msg.flow_id, 0):
+                return  # stale refresh from a superseded path epoch
             self._touch(msg.flow_id)
             self._transit_resv(msg)
         elif msg.kind == "TEAR":
-            toward_sender, _ = self._path_state.pop(
-                msg.flow_id, (None, None)
-            )
-            self._remove_local(msg.flow_id)
-            self._forget_soft_state(msg.flow_id)
-            self._forward_out(msg, toward_sender, dst=msg.sender)
+            flow_id = msg.flow_id
+            if msg.epoch >= self._flow_epoch.get(flow_id, 0):
+                toward_sender, _ = self._path_state.pop(
+                    flow_id, (None, None)
+                )
+                self._remove_local(flow_id)
+                self._forget_soft_state(flow_id)
+                self._prev_path.pop(flow_id, None)
+                self._flow_epoch.pop(flow_id, None)
+                self._forward_out(msg, toward_sender, dst=msg.sender)
+            else:
+                # Make-before-break: a TEAR for the superseded epoch.
+                # Release only what that epoch installed here (never
+                # the live egress) and pass it along the *old* reverse
+                # path; resends stay idempotent because the previous-
+                # path record survives until the next epoch bump.
+                prev = self._prev_path.get(flow_id)
+                if prev is not None and msg.epoch >= prev[0]:
+                    _, prev_toward, prev_egress = prev
+                    live = self._path_state.get(flow_id)
+                    if prev_egress is not None and (
+                            live is None or prev_egress is not live[1]):
+                        self._remove_on(prev_egress, flow_id)
+                    self._forward_out(msg, prev_toward, dst=msg.sender)
         else:
             # RESV_ERR, RESV_CONF and any future end-to-end kinds are
             # transparent to transit routers.
@@ -316,11 +402,30 @@ class RsvpAgent:
         if msg.kind == "PATH":
             # Remember where the flow comes from; data egress is None
             # (we are the data sink).
+            flow_id = msg.flow_id
+            current_epoch = self._flow_epoch.get(flow_id)
+            if current_epoch is not None and msg.epoch < current_epoch:
+                return
+            bumped = current_epoch is not None and msg.epoch > current_epoch
+            if bumped:
+                old = self._path_state.get(flow_id)
+                if old is not None:
+                    self._prev_path[flow_id] = (current_epoch, old[0], old[1])
             toward_sender = ingress or nic.egress_for(msg.sender)
-            self._path_state[msg.flow_id] = (toward_sender, None)
-            self._flow_sender[msg.flow_id] = msg.sender
-            self._touch(msg.flow_id)
+            self._flow_epoch[flow_id] = msg.epoch
+            self._path_state[flow_id] = (toward_sender, None)
+            self._flow_sender[flow_id] = msg.sender
+            self._touch(flow_id)
+            if bumped:
+                # Make-before-break: the sender re-announced after a
+                # reroute; answer immediately with a RESV that installs
+                # along the new path.
+                reservation = self.reservations.get(flow_id)
+                if reservation is not None and reservation.is_established:
+                    self._resignal_resv(flow_id)
         elif msg.kind == "RESV":
+            if msg.epoch < self._flow_epoch.get(msg.flow_id, 0):
+                return
             self._touch(msg.flow_id)
             # We are the data sender: install policing on our own
             # egress toward the receiver so conforming traffic is
@@ -331,22 +436,37 @@ class RsvpAgent:
                 nic.egress_for(msg.receiver), msg.flow_id, msg.flowspec
             )
             confirm = _RsvpMsg("RESV_CONF", msg.flow_id, sender=msg.sender,
-                               receiver=msg.receiver, flowspec=msg.flowspec)
+                               receiver=msg.receiver, flowspec=msg.flowspec,
+                               epoch=msg.epoch)
             self._emit(confirm, dst=msg.receiver)
         elif msg.kind == "RESV_CONF":
             reservation = self.reservations.get(msg.flow_id)
             if reservation is not None:
                 reservation._conclude("established")
+            prev = self._prev_path.get(msg.flow_id)
+            if prev is not None \
+                    and msg.epoch == self._flow_epoch.get(msg.flow_id, 0):
+                # The new path is confirmed installed end-to-end: tear
+                # the superseded one down behind it.
+                self._prev_path.pop(msg.flow_id)
+                prev_epoch, prev_toward, _ = prev
+                self._send_tear(msg.flow_id, self._sender_of(msg.flow_id),
+                                prev_toward, epoch=prev_epoch,
+                                resends_left=self.TEAR_RESENDS)
         elif msg.kind == "RESV_ERR":
             reservation = self.reservations.get(msg.flow_id)
             if reservation is not None:
                 reservation._conclude("failed", msg.reason)
         elif msg.kind == "TEAR":
+            if msg.epoch < self._flow_epoch.get(msg.flow_id, 0):
+                return
             self._remove_local(msg.flow_id)
             self._path_state.pop(msg.flow_id, None)
             self._announced.pop(msg.flow_id, None)
             self._stop_refresh(msg.flow_id)
             self._forget_soft_state(msg.flow_id)
+            self._prev_path.pop(msg.flow_id, None)
+            self._flow_epoch.pop(msg.flow_id, None)
 
     # ------------------------------------------------------------------
     # RESV processing helpers
@@ -365,12 +485,26 @@ class RsvpAgent:
             sender=sender,
             receiver=self._name(),
             flowspec=reservation.flowspec,
+            epoch=self._flow_epoch.get(reservation.flow_id, 0),
         )
         toward_sender, _ = self._path_state[reservation.flow_id]
         self._forward_out(msg, toward_sender, dst=sender)
         reservation._retry_event = self.kernel.schedule(
             Reservation.RETRY_INTERVAL, self._send_resv, reservation
         )
+
+    def _resignal_resv(self, flow_id: str) -> None:
+        """Receiver side: re-send RESV for an established flow after a
+        make-before-break PATH bumped the epoch (installs along the
+        new path; the old path is torn once the sender confirms)."""
+        reservation = self.reservations[flow_id]
+        sender = self._sender_of(flow_id)
+        msg = _RsvpMsg("RESV", flow_id, sender=sender,
+                       receiver=self._name(),
+                       flowspec=reservation.flowspec,
+                       epoch=self._flow_epoch.get(flow_id, 0))
+        toward_sender, _ = self._path_state[flow_id]
+        self._forward_out(msg, toward_sender, dst=sender)
 
     def _transit_resv(self, msg: _RsvpMsg) -> None:
         state = self._path_state.get(msg.flow_id)
@@ -425,11 +559,17 @@ class RsvpAgent:
         )
 
     def _remove_local(self, flow_id: str) -> None:
-        for interface, table in self._reserved.items():
-            if flow_id in table:
-                del table[flow_id]
-                if isinstance(interface.qdisc, GuaranteedRateQueue):
-                    interface.qdisc.remove_reservation(flow_id)
+        for interface in self._reserved:
+            self._remove_on(interface, flow_id)
+
+    def _remove_on(self, interface: Interface, flow_id: str) -> None:
+        """Release one flow's installed rate on one interface only."""
+        table = self._reserved.get(interface)
+        if table is None or flow_id not in table:
+            return
+        del table[flow_id]
+        if isinstance(interface.qdisc, GuaranteedRateQueue):
+            interface.qdisc.remove_reservation(flow_id)
 
     def reserved_rate(self, interface: Interface) -> float:
         """Total admitted rate on ``interface`` (observability)."""
@@ -466,6 +606,8 @@ class RsvpAgent:
         self._remove_local(flow_id)
         self._path_state.pop(flow_id, None)
         self._flow_sender.pop(flow_id, None)
+        self._flow_epoch.pop(flow_id, None)
+        self._prev_path.pop(flow_id, None)
         tracer = self.kernel.tracer
         if tracer is not None:
             tracer.instant("net", "rsvp.expire", flow=f"rsvp:{flow_id}",
@@ -487,6 +629,26 @@ class RsvpAgent:
     # ------------------------------------------------------------------
     # Fault-layer hooks
     # ------------------------------------------------------------------
+    def on_link_down(self, interface: Interface) -> None:
+        """Synchronously release installed rate on a dead egress.
+
+        Called from :meth:`Link.fail`: the booked rate on an interface
+        whose link just died must leave the admission ledger *now*, not
+        at soft-state expiry — in the window between death and expiry
+        ``reserved_rate`` would over-report and a re-admission after
+        reroute could be refused against phantom capacity.  Path state
+        is kept, so refresh (when enabled) re-installs after restore.
+        """
+        table = self._reserved.get(interface)
+        if not table:
+            return
+        tracer = self.kernel.tracer
+        for flow_id in list(table):
+            self._remove_on(interface, flow_id)
+            if tracer is not None:
+                tracer.instant("net", "rsvp.release", flow=f"rsvp:{flow_id}",
+                               node=self._name(), reason="link_down")
+
     def drop_reservation_state(self, flow_id: str) -> None:
         """Silently lose the installed reservation for one flow.
 
@@ -509,6 +671,8 @@ class RsvpAgent:
                     interface.qdisc.remove_reservation(flow_id)
         self._path_state.clear()
         self._flow_sender.clear()
+        self._flow_epoch.clear()
+        self._prev_path.clear()
         # A rebooted node has no timers either: its announced sessions
         # and refresh schedules die with it, so downstream soft state
         # stops being touched and can expire.

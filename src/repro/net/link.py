@@ -173,7 +173,8 @@ class Link:
     """
 
     __slots__ = ("kernel", "bandwidth_bps", "delay", "a", "b", "up",
-                 "packets_lost", "loss_probability", "loss_rng")
+                 "packets_lost", "loss_probability", "loss_rng",
+                 "listeners", "removed")
 
     def __init__(
         self,
@@ -201,6 +202,14 @@ class Link:
         #: RNG stream so runs stay deterministic.
         self.loss_probability = 0.0
         self.loss_rng = None
+        #: State-change callbacks ``cb(link, up)``; fired on every
+        #: up -> down and down -> up transition.  The link-state
+        #: routing protocol subscribes here to learn about adjacency
+        #: changes the way a real router learns from carrier loss.
+        self.listeners = []
+        #: Permanently unplugged (see ``Network.remove_link``); a
+        #: removed link never comes back up.
+        self.removed = False
         a.link = self
         b.link = self
         a.peer = b
@@ -209,18 +218,34 @@ class Link:
     # ------------------------------------------------------------------
     # Failure injection
     # ------------------------------------------------------------------
+    def add_listener(self, callback) -> None:
+        """Subscribe ``callback(link, up)`` to state transitions."""
+        self.listeners.append(callback)
+
     def fail(self) -> None:
         """Cut the link: everything currently on (or put on) the wire
         is lost until :meth:`restore`.  Queued packets stay queued."""
+        was_up = self.up
         self.up = False
         if self.a.fluid is not None:
             self.a.fluid.on_link_state(False)
         if self.b.fluid is not None:
             self.b.fluid.on_link_state(False)
+        # Release any installed reservation rate on the dead egresses
+        # *synchronously*: the booked rate would otherwise over-report
+        # until soft-state expiry and the link-budget ledger could go
+        # negative on re-admission after reroute.
+        for iface in (self.a, self.b):
+            agent = getattr(iface.owner, "rsvp_agent", None)
+            if agent is not None:
+                agent.on_link_down(iface)
+        if was_up:
+            for callback in self.listeners:
+                callback(self, False)
 
     def restore(self) -> None:
         """Bring the link back and restart both transmitters."""
-        if self.up:
+        if self.up or self.removed:
             return
         self.up = True
         if self.a.fluid is not None:
@@ -229,6 +254,8 @@ class Link:
             self.b.fluid.on_link_state(True)
         self.a._kick()
         self.b._kick()
+        for callback in self.listeners:
+            callback(self, True)
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

@@ -19,7 +19,7 @@ beyond plain forwarding matter for the paper:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from repro.sim.kernel import Kernel
 from repro.net.link import Interface
@@ -46,6 +46,14 @@ class Router:
         self.forwarded = 0
         #: Packets dropped for lack of a route.
         self.unroutable = 0
+        #: Drop book, shaped like the qdisc one so conservation
+        #: harnesses can fold router drops into the same
+        #: delivered / dropped-with-reason / in-flight partition.
+        self.dropped = 0
+        self.drops_by_reason: Dict[str, int] = {}
+        self.drops_by_flow: Dict[str, int] = {}
+        #: Optional drop hook ``on_drop(packet, reason)``.
+        self.on_drop: Optional[Callable[[Packet, str], None]] = None
         #: RSVP agent; installed by the Network when IntServ is enabled.
         self.rsvp_agent: Optional["RsvpAgent"] = None
 
@@ -71,11 +79,7 @@ class Router:
         egress = self.routes.get(packet.dst)
         tracer = self.kernel.tracer
         if egress is None:
-            self.unroutable += 1
-            if tracer is not None:
-                tracer.instant("net", "route.unroutable", router=self.name,
-                               dst=packet.dst, flow=packet.flow_id,
-                               packet=packet.packet_id)
+            self._drop(packet, "unroutable")
             return
         self.forwarded += 1
         if tracer is not None:
@@ -83,6 +87,23 @@ class Router:
                            dst=packet.dst, flow=packet.flow_id,
                            packet=packet.packet_id, dscp=packet.dscp.name)
         egress.send(packet)
+
+    def _drop(self, packet: Packet, reason: str) -> None:
+        """Account one dropped packet through the same books (count,
+        per-flow, per-reason, ``on_drop`` hook) the qdiscs keep."""
+        self.dropped += 1
+        self.drops_by_reason[reason] = self.drops_by_reason.get(reason, 0) + 1
+        self.drops_by_flow[packet.flow_id] = (
+            self.drops_by_flow.get(packet.flow_id, 0) + 1)
+        if reason == "unroutable":
+            self.unroutable += 1
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.instant("net", "route.unroutable", router=self.name,
+                           dst=packet.dst, flow=packet.flow_id,
+                           packet=packet.packet_id, reason=reason)
+        if self.on_drop is not None:
+            self.on_drop(packet, reason)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Router {self.name!r} ifaces={list(self.interfaces)}>"

@@ -1,0 +1,404 @@
+"""Link-state routing: LSA flooding + Dijkstra SPF over the topology.
+
+Replaces the one-shot static :meth:`Network.compute_routes` with live
+per-router tables that react to link failures and repairs — the layer
+the paper's adaptation story was missing between the fault injector
+and the QuO contract: when a backbone link dies, routers must *learn*
+about it and heal the forwarding plane before any amount of reserve or
+shed-based adaptation can matter.
+
+Protocol model
+--------------
+Each router originates a link-state advertisement (LSA) describing its
+up adjacencies — neighbor routers (with a cost) and directly attached
+stub hosts — under a monotonically increasing sequence number.  LSAs
+flood hop-by-hop: a router that receives a fresher LSA than the copy
+in its link-state database (LSDB) stores it, schedules an SPF
+recomputation, and re-floods to every other up neighbor; stale copies
+are dropped (the sequence number is the dedup).  Flooding rides the
+kernel directly with per-hop latency ``link.delay + LSA_PROC_DELAY``
+rather than as data packets: signaling is consumed and re-created at
+every hop, which would otherwise register as per-packet-id
+conservation leaks in the check suite.
+
+Adjacency changes come from :class:`~repro.net.link.Link` state
+listeners — carrier loss and recovery, exactly what a real IGP keys
+off — so the fault injector's ``link_flap`` / ``node_crash`` /
+``link_down`` events drive re-origination with no extra wiring.
+
+SPF recomputations are coalesced behind ``spf_delay`` (an OSPF-style
+hold-down: both endpoints' LSAs from one failure arrive within the
+window and trigger a single recomputation).  Route installation is
+clear-and-rebuild.  When a recomputation *changes* a router's table,
+convergence listeners fire — RSVP make-before-break re-signaling
+(:meth:`~repro.net.intserv.RsvpAgent.resignal_all`) hangs off this.
+
+Determinism
+-----------
+Equal-cost paths break ties by ``(cost, first-hop neighbor name)``:
+the Dijkstra heap carries ``(cost, first_hop, node)`` tuples, so of
+all shortest paths the one through the lexicographically smallest
+first hop settles first.  Tables are therefore identical across runs,
+across ``--jobs`` workers, and across scheduler backends.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.sim.kernel import Kernel
+from repro.net.link import Link
+from repro.net.router import Router
+from repro.net.topology import Network
+
+__all__ = [
+    "Lsa",
+    "LinkStateRouting",
+    "ReservationResignaler",
+    "install_spf_routes",
+    "predict_path",
+    "spf_first_hops",
+]
+
+#: Per-hop LSA processing latency added on top of the link delay.
+LSA_PROC_DELAY = 1e-4
+
+
+class Lsa:
+    """One router's link-state advertisement.
+
+    ``neighbors`` are ``(router name, cost)`` pairs, ``stubs`` the
+    directly attached host names; both sorted so two LSAs describing
+    the same adjacency compare equal field-by-field.
+    """
+
+    __slots__ = ("origin", "seq", "neighbors", "stubs")
+
+    def __init__(self, origin: str, seq: int,
+                 neighbors: Tuple[Tuple[str, float], ...],
+                 stubs: Tuple[str, ...]) -> None:
+        self.origin = origin
+        self.seq = seq
+        self.neighbors = neighbors
+        self.stubs = stubs
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Lsa {self.origin} seq={self.seq} "
+                f"nbrs={[n for n, _ in self.neighbors]} "
+                f"stubs={list(self.stubs)}>")
+
+
+def spf_first_hops(lsdb: Dict[str, Lsa], origin: str
+                   ) -> Dict[str, Tuple[float, str]]:
+    """Dijkstra over an LSDB: destination -> (cost, first-hop name).
+
+    Only two-way adjacencies count (both endpoints must advertise the
+    edge, the standard LSDB bidirectionality check), so a half-learned
+    failure can never route traffic into a link one side knows is
+    dead.  Stub hosts sit one unit of cost behind their router and
+    never carry transit.  Ties break by ``(cost, first-hop name)``.
+    """
+    neighbors: Dict[str, List[Tuple[str, float]]] = {}
+    for name, lsa in lsdb.items():
+        mutual = []
+        for peer, cost in lsa.neighbors:
+            peer_lsa = lsdb.get(peer)
+            if peer_lsa is not None and any(
+                    back == name for back, _ in peer_lsa.neighbors):
+                mutual.append((peer, cost))
+        neighbors[name] = sorted(mutual)
+    best: Dict[str, Tuple[float, str]] = {}
+    heap: List[Tuple[float, str, str]] = [(0.0, "", origin)]
+    while heap:
+        cost, first_hop, node = heapq.heappop(heap)
+        if node in best:
+            continue
+        best[node] = (cost, first_hop)
+        for peer, edge_cost in neighbors.get(node, ()):
+            if peer not in best:
+                heapq.heappush(
+                    heap, (cost + edge_cost, first_hop or peer, peer))
+    table: Dict[str, Tuple[float, str]] = {}
+    for name, lsa in lsdb.items():
+        reached = best.get(name)
+        if reached is None:
+            continue
+        router_cost, router_fh = reached
+        for host in lsa.stubs:
+            candidate = (router_cost + 1.0, router_fh or host)
+            incumbent = table.get(host)
+            if incumbent is None or candidate < incumbent:
+                table[host] = candidate
+    for name, reached in best.items():
+        if name != origin:
+            table[name] = reached
+    return table
+
+
+class _Node:
+    """Per-router protocol state."""
+
+    __slots__ = ("router", "lsdb", "seq", "spf_pending")
+
+    def __init__(self, router: Router) -> None:
+        self.router = router
+        self.lsdb: Dict[str, Lsa] = {}
+        self.seq = 0
+        self.spf_pending = False
+
+
+class LinkStateRouting:
+    """The routing engine: one instance drives every router in a net.
+
+    ``start()`` seeds every router with the already-converged LSDB and
+    installs the initial tables synchronously (bringing a cold network
+    through a full bootstrap flood would add nothing but events); from
+    then on link state changes re-originate, flood, and re-converge
+    through simulated time.
+    """
+
+    def __init__(self, kernel: Kernel, network: Network,
+                 spf_delay: float = 0.05) -> None:
+        self.kernel = kernel
+        self.network = network
+        self.spf_delay = float(spf_delay)
+        self.nodes: Dict[str, _Node] = {}
+        self._listeners: List[Callable[[Router], None]] = []
+        self._started = False
+        #: Observability counters.
+        self.spf_runs = 0
+        self.lsas_originated = 0
+        self.lsas_flooded = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Subscribe to link state and install converged tables."""
+        if self._started:
+            return
+        self._started = True
+        for router in sorted(self.network.routers, key=lambda r: r.name):
+            self.nodes[router.name] = _Node(router)
+        for link in self.network.links:
+            link.add_listener(self._on_link_state)
+        seed: Dict[str, Lsa] = {}
+        for name, node in sorted(self.nodes.items()):
+            node.seq = 1
+            seed[name] = self._build_lsa(name)
+        for name, node in sorted(self.nodes.items()):
+            node.lsdb = dict(seed)
+            self._run_spf(node, notify=False)
+
+    def add_convergence_listener(
+            self, callback: Callable[[Router], None]) -> None:
+        """``callback(router)`` fires when an SPF run changed a table."""
+        self._listeners.append(callback)
+
+    # ------------------------------------------------------------------
+    # LSA origination and flooding
+    # ------------------------------------------------------------------
+    def _build_lsa(self, name: str) -> Lsa:
+        neighbors: List[Tuple[str, float]] = []
+        stubs: List[str] = []
+        for peer, iface in self.network._adjacency[name]:
+            link = iface.link
+            if link is None or not link.up:
+                continue
+            if isinstance(self.network.device(peer), Router):
+                neighbors.append((peer, 1.0))
+            else:
+                stubs.append(peer)
+        return Lsa(name, self.nodes[name].seq,
+                   tuple(sorted(neighbors)), tuple(sorted(stubs)))
+
+    def _on_link_state(self, link: Link, up: bool) -> None:
+        for iface in (link.a, link.b):
+            if iface.owner.name in self.nodes:
+                self._originate(iface.owner.name)
+
+    def _originate(self, name: str) -> None:
+        node = self.nodes[name]
+        node.seq += 1
+        lsa = self._build_lsa(name)
+        self.lsas_originated += 1
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.instant("net", "lsa.originate", router=name, seq=lsa.seq,
+                           neighbors=len(lsa.neighbors))
+        self._accept(node, lsa, learned_from=None)
+
+    def _accept(self, node: _Node, lsa: Lsa,
+                learned_from: Optional[str]) -> None:
+        current = node.lsdb.get(lsa.origin)
+        if current is not None and current.seq >= lsa.seq:
+            return
+        node.lsdb[lsa.origin] = lsa
+        self._schedule_spf(node)
+        # Re-flood to every up router neighbor except the one the LSA
+        # came from (split horizon).
+        for peer, iface in sorted(self.network._adjacency[node.router.name],
+                                  key=lambda entry: entry[0]):
+            if peer == learned_from or peer not in self.nodes:
+                continue
+            link = iface.link
+            if link is None or not link.up:
+                continue
+            self.lsas_flooded += 1
+            self.kernel.schedule(
+                link.delay + LSA_PROC_DELAY, self._deliver,
+                peer, lsa, node.router.name)
+
+    def _deliver(self, to_name: str, lsa: Lsa, from_name: str) -> None:
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.instant("net", "lsa.flood", origin=lsa.origin, seq=lsa.seq,
+                           frm=from_name, to=to_name)
+        self._accept(self.nodes[to_name], lsa, learned_from=from_name)
+
+    # ------------------------------------------------------------------
+    # SPF
+    # ------------------------------------------------------------------
+    def _schedule_spf(self, node: _Node) -> None:
+        if node.spf_pending:
+            return
+        node.spf_pending = True
+        self.kernel.schedule(self.spf_delay, self._spf_timer, node)
+
+    def _spf_timer(self, node: _Node) -> None:
+        node.spf_pending = False
+        self._run_spf(node, notify=True)
+
+    def _run_spf(self, node: _Node, notify: bool) -> None:
+        self.spf_runs += 1
+        table = spf_first_hops(node.lsdb, node.router.name)
+        before = dict(node.router.routes)
+        node.router.routes.clear()
+        adjacency = {
+            peer: iface
+            for peer, iface in self.network._adjacency[node.router.name]
+        }
+        for dst in sorted(table):
+            if dst in self.nodes:
+                continue  # install host destinations only
+            _, first_hop = table[dst]
+            egress = adjacency.get(first_hop)
+            if egress is not None and egress.link is not None \
+                    and egress.link.up:
+                node.router.routes[dst] = egress
+        changed = node.router.routes != before
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.instant("net", "spf.install", router=node.router.name,
+                           routes=len(node.router.routes), changed=changed)
+        if changed and notify:
+            for callback in self._listeners:
+                callback(node.router)
+
+
+class ReservationResignaler:
+    """Make-before-break trigger: SPF convergence -> RSVP re-signal.
+
+    Convergence events from many routers within one failure are
+    debounced behind ``delay``; when the timer fires, every given
+    sender-side agent re-announces its flows under a bumped epoch
+    (:meth:`RsvpAgent.resignal_all`), which re-installs reservations
+    along the new egress and tears the old path down behind them.
+    """
+
+    def __init__(self, kernel: Kernel, routing: LinkStateRouting,
+                 agents, delay: float = 0.25) -> None:
+        self.kernel = kernel
+        self.agents = list(agents)
+        self.delay = float(delay)
+        self._pending = None
+        #: Completed re-signal rounds (observability).
+        self.resignals = 0
+        routing.add_convergence_listener(self._on_convergence)
+
+    def _on_convergence(self, router: Router) -> None:
+        if self._pending is None:
+            self._pending = self.kernel.schedule(self.delay, self._fire)
+
+    def _fire(self) -> None:
+        self._pending = None
+        self.resignals += 1
+        for agent in self.agents:
+            agent.resignal_all()
+
+
+# ----------------------------------------------------------------------
+# One-shot helpers (static snapshots of the same SPF)
+# ----------------------------------------------------------------------
+def _global_lsdb(network: Network,
+                 down: FrozenSet[Link] = frozenset()) -> Dict[str, Lsa]:
+    lsdb: Dict[str, Lsa] = {}
+    for router in network.routers:
+        neighbors: List[Tuple[str, float]] = []
+        stubs: List[str] = []
+        for peer, iface in network._adjacency[router.name]:
+            link = iface.link
+            if link is None or not link.up or link in down:
+                continue
+            if isinstance(network.device(peer), Router):
+                neighbors.append((peer, 1.0))
+            else:
+                stubs.append(peer)
+        lsdb[router.name] = Lsa(router.name, 1,
+                                tuple(sorted(neighbors)),
+                                tuple(sorted(stubs)))
+    return lsdb
+
+
+def install_spf_routes(network: Network) -> None:
+    """Install the converged SPF tables once, with no live protocol.
+
+    The static-route arms of fig11 use this so their initial tables are
+    *identical* to what :class:`LinkStateRouting` would install — the
+    experiment's axis is then purely "does the network re-converge",
+    never "did the two arms start on different shortest paths".
+    """
+    lsdb = _global_lsdb(network)
+    router_names = set(lsdb)
+    for router in sorted(network.routers, key=lambda r: r.name):
+        table = spf_first_hops(lsdb, router.name)
+        adjacency = dict(network._adjacency[router.name])
+        router.routes.clear()
+        for dst in sorted(table):
+            if dst in router_names:
+                continue
+            _, first_hop = table[dst]
+            egress = adjacency.get(first_hop)
+            if egress is not None:
+                router.routes[dst] = egress
+
+
+def predict_path(network: Network, src_host: str, dst_host: str,
+                 down: FrozenSet[Link] = frozenset()) -> List[str]:
+    """The hop-by-hop forwarding path converged SPF tables produce.
+
+    Walks per-router first hops (each router running its own
+    tie-broken Dijkstra), which is exactly how the distributed tables
+    compose — a single source-rooted shortest path could disagree at
+    equal-cost splits.  Raises ``KeyError`` when ``dst_host`` is
+    unreachable under the given set of ``down`` links.
+    """
+    lsdb = _global_lsdb(network, down)
+    nic = network.nic_of(src_host)
+    if not nic.interfaces:
+        raise KeyError(f"host {src_host!r} has no attached links")
+    path = [src_host]
+    current = nic.interfaces[0].peer.owner.name
+    seen = set()
+    while current != dst_host:
+        if current in seen:  # pragma: no cover - defensive
+            raise KeyError(f"forwarding loop predicting {src_host}->"
+                           f"{dst_host} at {current}")
+        seen.add(current)
+        path.append(current)
+        entry = spf_first_hops(lsdb, current).get(dst_host)
+        if entry is None:
+            raise KeyError(
+                f"no path {src_host} -> {dst_host} (stuck at {current})")
+        current = entry[1]
+    path.append(dst_host)
+    return path

@@ -12,8 +12,10 @@ IntServ behaviour without touching any other code.
 
 from __future__ import annotations
 
+import math
+import random
 from collections import deque
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.sim.kernel import Kernel
 from repro.oskernel.host import Host
@@ -118,8 +120,37 @@ class Network:
         self._adjacency[dev_b.name].append((dev_a.name, iface_b))
         return link
 
+    def remove_link(self, a: Endpoint, b: Endpoint) -> Link:
+        """Permanently unplug the link between ``a`` and ``b``.
+
+        The link fails (notifying RSVP agents and routing listeners),
+        is marked removed so it can never be restored, and disappears
+        from the adjacency used by :meth:`compute_routes` /
+        :meth:`path`.  Its interfaces and queues stay attached to the
+        devices, so packets already queued on them remain accounted.
+        """
+        link = self.link_between(a, b)
+        for endpoint in (link.a, link.b):
+            self._adjacency[endpoint.owner.name] = [
+                (name, iface)
+                for name, iface in self._adjacency[endpoint.owner.name]
+                if iface.link is not link
+            ]
+        if link.up:
+            link.fail()
+        link.removed = True
+        return link
+
     def compute_routes(self) -> None:
-        """(Re)build every router's routing table by hop-count BFS."""
+        """(Re)build every router's routing table by hop-count BFS.
+
+        Tables are cleared first: a destination that became unreachable
+        after a topology change must lose its entry (and its packets be
+        counted unroutable) rather than keep a stale egress into a dead
+        link.  Links that are down or removed do not carry routes.
+        """
+        for device in self._devices.values():
+            device.routes.clear()
         for host_name in self._hosts:
             self._route_toward(host_name)
 
@@ -128,8 +159,10 @@ class Network:
         frontier = deque([destination])
         while frontier:
             current = frontier.popleft()
-            for neighbor, _ in self._adjacency[current]:
+            for neighbor, iface in self._adjacency[current]:
                 if neighbor in visited:
+                    continue
+                if iface.link is not None and not iface.link.up:
                     continue
                 visited.add(neighbor)
                 device = self._devices[neighbor]
@@ -245,3 +278,208 @@ class Network:
         while result[-1] != src:
             result.append(parents[result[-1]])
         return list(reversed(result))
+
+
+# ----------------------------------------------------------------------
+# Topology generators
+# ----------------------------------------------------------------------
+class GeneratedTopology:
+    """What a generator built: router names and link endpoint pairs.
+
+    Purely descriptive — the routers and links are already wired into
+    the :class:`Network` the generator was given.
+    """
+
+    __slots__ = ("kind", "routers", "links", "params")
+
+    def __init__(self, kind: str, routers: List[str],
+                 links: List[Tuple[str, str]], params: Dict[str, object]):
+        self.kind = kind
+        self.routers = list(routers)
+        self.links = list(links)
+        self.params = dict(params)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<GeneratedTopology {self.kind} routers={len(self.routers)} "
+                f"links={len(self.links)}>")
+
+
+def _wire(net: Network, pairs: List[Tuple[str, str]],
+          qdisc_factory: Optional[Callable[[], QueueDiscipline]],
+          bandwidth_bps: Optional[float], delay: Optional[float]) -> None:
+    for a, b in pairs:
+        net.link(a, b, bandwidth_bps=bandwidth_bps, delay=delay,
+                 qdisc_a=qdisc_factory() if qdisc_factory else None,
+                 qdisc_b=qdisc_factory() if qdisc_factory else None)
+
+
+def waxman_topology(
+    net: Network,
+    n: int,
+    seed: int = 1,
+    alpha: float = 0.55,
+    beta: float = 0.6,
+    prefix: str = "w",
+    qdisc_factory: Optional[Callable[[], QueueDiscipline]] = None,
+    bandwidth_bps: Optional[float] = None,
+    delay: Optional[float] = None,
+) -> GeneratedTopology:
+    """Seeded random Waxman graph over ``n`` routers.
+
+    Nodes are dropped uniformly on the unit square; an edge (i, j)
+    exists with probability ``alpha * exp(-d(i,j) / (beta * L))`` where
+    ``L`` is the graph diameter in Euclidean terms.  A spanning cycle
+    ``0-1-...-(n-1)-0`` is always added, so every generated graph is
+    2-edge-connected: no single backbone failure can partition it.
+    All randomness comes from ``random.Random(seed)`` — same seed,
+    same edge list, byte-identical routing tables.
+    """
+    if n < 3:
+        raise ValueError(f"waxman needs n >= 3, got {n}")
+    rng = random.Random(seed)
+    width = len(str(n - 1))
+    names = [f"{prefix}{i:0{width}d}" for i in range(n)]
+    positions = [(rng.random(), rng.random()) for _ in range(n)]
+    span = max(
+        math.dist(positions[i], positions[j])
+        for i in range(n) for j in range(i + 1, n)
+    )
+    pairs: List[Tuple[str, str]] = []
+    chosen = set()
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = math.dist(positions[i], positions[j])
+            if rng.random() < alpha * math.exp(-d / (beta * span)):
+                pairs.append((names[i], names[j]))
+                chosen.add((i, j))
+    for i in range(n):
+        j = (i + 1) % n
+        key = (min(i, j), max(i, j))
+        if key not in chosen:
+            chosen.add(key)
+            pairs.append((names[key[0]], names[key[1]]))
+    for name in names:
+        net.add_router(name)
+    _wire(net, pairs, qdisc_factory, bandwidth_bps, delay)
+    return GeneratedTopology(
+        "waxman", names, pairs,
+        {"n": n, "seed": seed, "alpha": alpha, "beta": beta})
+
+
+def fat_tree_topology(
+    net: Network,
+    k: int = 4,
+    prefix: str = "ft",
+    qdisc_factory: Optional[Callable[[], QueueDiscipline]] = None,
+    bandwidth_bps: Optional[float] = None,
+    delay: Optional[float] = None,
+) -> GeneratedTopology:
+    """A k-ary fat-tree: (k/2)^2 cores, k pods of k/2 agg + k/2 edge.
+
+    Edge switch *e* in a pod links to every aggregation switch in that
+    pod; aggregation switch *a* links to cores ``a*(k/2) ..
+    (a+1)*(k/2)-1`` — the standard rearrangeably non-blocking wiring,
+    deterministic by construction (no seed).
+    """
+    if k < 2 or k % 2:
+        raise ValueError(f"fat-tree needs an even k >= 2, got {k}")
+    half = k // 2
+    cores = [f"{prefix}c{i:02d}" for i in range(half * half)]
+    names = list(cores)
+    pairs: List[Tuple[str, str]] = []
+    for pod in range(k):
+        aggs = [f"{prefix}p{pod}a{i}" for i in range(half)]
+        edges = [f"{prefix}p{pod}e{i}" for i in range(half)]
+        names.extend(aggs)
+        names.extend(edges)
+        for edge in edges:
+            for agg in aggs:
+                pairs.append((agg, edge))
+        for a, agg in enumerate(aggs):
+            for c in range(a * half, (a + 1) * half):
+                pairs.append((cores[c], agg))
+    for name in names:
+        net.add_router(name)
+    _wire(net, pairs, qdisc_factory, bandwidth_bps, delay)
+    return GeneratedTopology("fat_tree", names, pairs, {"k": k})
+
+
+def wan_topology(
+    net: Network,
+    pops: int = 4,
+    routers_per_pop: int = 3,
+    prefix: str = "pop",
+    qdisc_factory: Optional[Callable[[], QueueDiscipline]] = None,
+    bandwidth_bps: Optional[float] = None,
+    delay: Optional[float] = None,
+) -> GeneratedTopology:
+    """Multi-PoP WAN: per-PoP router rings joined by a gateway ring.
+
+    Each PoP is a ring of ``routers_per_pop`` routers; router 0 of each
+    PoP is its gateway.  Gateways form their own ring, plus antipodal
+    chords when there are at least five PoPs, so the backbone survives
+    any single inter-PoP link failure.  Deterministic (no seed).
+    """
+    if pops < 3:
+        raise ValueError(f"wan needs >= 3 pops, got {pops}")
+    if routers_per_pop < 1:
+        raise ValueError("wan needs >= 1 router per pop")
+    names: List[str] = []
+    pairs: List[Tuple[str, str]] = []
+    for pop in range(pops):
+        local = [f"{prefix}{pop}r{i}" for i in range(routers_per_pop)]
+        names.extend(local)
+        if routers_per_pop == 2:
+            pairs.append((local[0], local[1]))
+        elif routers_per_pop >= 3:
+            for i in range(routers_per_pop):
+                pairs.append((local[i], local[(i + 1) % routers_per_pop]))
+    gateways = [f"{prefix}{pop}r0" for pop in range(pops)]
+    for pop in range(pops):
+        pairs.append((gateways[pop], gateways[(pop + 1) % pops]))
+    if pops >= 5:
+        for pop in range(pops // 2):
+            pairs.append((gateways[pop], gateways[pop + pops // 2]))
+    for name in names:
+        net.add_router(name)
+    _wire(net, pairs, qdisc_factory, bandwidth_bps, delay)
+    return GeneratedTopology(
+        "wan", names, pairs,
+        {"pops": pops, "routers_per_pop": routers_per_pop})
+
+
+def generate_topology(
+    net: Network,
+    kind: str,
+    routers: int,
+    seed: int = 1,
+    qdisc_factory: Optional[Callable[[], QueueDiscipline]] = None,
+    bandwidth_bps: Optional[float] = None,
+    delay: Optional[float] = None,
+) -> GeneratedTopology:
+    """Build a named topology family sized to about ``routers`` nodes.
+
+    ``waxman`` hits the count exactly; ``fattree`` rounds up to the
+    nearest valid ``5k^2/4``; ``wan`` rounds up to a whole number of
+    PoPs.
+    """
+    if kind == "waxman":
+        return waxman_topology(
+            net, routers, seed=seed, qdisc_factory=qdisc_factory,
+            bandwidth_bps=bandwidth_bps, delay=delay)
+    if kind == "fattree":
+        k = 2
+        while 5 * k * k // 4 < routers:
+            k += 2
+        return fat_tree_topology(
+            net, k, qdisc_factory=qdisc_factory,
+            bandwidth_bps=bandwidth_bps, delay=delay)
+    if kind == "wan":
+        per_pop = 4
+        pops = max(3, -(-routers // per_pop))
+        return wan_topology(
+            net, pops=pops, routers_per_pop=per_pop,
+            qdisc_factory=qdisc_factory,
+            bandwidth_bps=bandwidth_bps, delay=delay)
+    raise ValueError(
+        f"unknown topology kind {kind!r}; expected waxman|fattree|wan")

@@ -453,7 +453,7 @@ def test_default_suite_has_every_monitor():
     assert names == {
         "time-monotonic", "qdisc-accounting", "token-bucket",
         "reserve-ledger", "packet-conservation", "contract",
-        "thread-state", "fluid-conservation",
+        "thread-state", "fluid-conservation", "routing",
     }
     assert len(suite.checkers) == len(names)
 

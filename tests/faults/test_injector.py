@@ -182,6 +182,16 @@ def test_node_crash_can_keep_state():
         FaultEvent("node_crash", node="r1", at=1.0, duration=1.0,
                    lose_state=False)))
     kernel.run(until=start + 3.0)
+    # The booked rate leaves the ledger the instant the links die —
+    # phantom capacity on a dead egress is the leak on_link_down fixes.
+    assert "video" not in egress.qdisc.reserved_flows()
+    assert r1.rsvp_agent.reserved_rate(egress) == 0.0
+    # But unlike lose_state=True, the router kept its signaling state:
+    # the receiver can re-reserve without waiting for a fresh PATH.
+    reservation = net.nic_of("dst").rsvp_agent.reserve(
+        "video", FlowSpec(1.2e6, 20_000))
+    kernel.run(until=kernel.now + 0.5)
+    assert reservation.is_established
     assert "video" in egress.qdisc.reserved_flows()
 
 

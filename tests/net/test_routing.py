@@ -1,0 +1,354 @@
+"""Link-state routing: flooding, SPF, reroute, make-before-break."""
+
+import pytest
+
+from repro.sim import Kernel
+from repro.oskernel import Host
+from repro.net import (
+    DatagramSocket,
+    FlowSpec,
+    GuaranteedRateQueue,
+    LinkStateRouting,
+    Lsa,
+    Network,
+    ReservationResignaler,
+    install_spf_routes,
+    predict_path,
+    spf_first_hops,
+)
+from repro.check import (
+    InvariantViolation,
+    RoutingChecker,
+    World,
+    default_suite,
+)
+from repro.obs.trace import TraceRecord
+
+
+def grq(kernel):
+    return GuaranteedRateQueue(kernel, band_capacity=100)
+
+
+def diamond(kernel, reserved=False):
+    """src - r1 - {r2, r3} - r4 - dst: two equal-cost transit paths."""
+    net = Network(kernel, default_bandwidth_bps=10e6)
+    for name in ("src", "dst"):
+        net.attach_host(Host(kernel, name))
+    for name in ("r1", "r2", "r3", "r4"):
+        net.add_router(name)
+    q = (lambda: grq(kernel)) if reserved else (lambda: None)
+    for a, b in (("src", "r1"), ("r1", "r2"), ("r1", "r3"),
+                 ("r2", "r4"), ("r3", "r4"), ("r4", "dst")):
+        net.link(a, b, qdisc_a=q(), qdisc_b=q())
+    return net
+
+
+def lsa(origin, seq, neighbors, stubs=()):
+    return Lsa(origin, seq, tuple(sorted(neighbors)), tuple(sorted(stubs)))
+
+
+# ----------------------------------------------------------------------
+# SPF determinism
+# ----------------------------------------------------------------------
+def test_spf_tie_breaks_by_cost_then_first_hop_name():
+    lsdb = {
+        "a": lsa("a", 1, [("b", 1.0), ("c", 1.0)]),
+        "b": lsa("b", 1, [("a", 1.0), ("d", 1.0)]),
+        "c": lsa("c", 1, [("a", 1.0), ("d", 1.0)]),
+        "d": lsa("d", 1, [("b", 1.0), ("c", 1.0)], stubs=["h"]),
+    }
+    table = spf_first_hops(lsdb, "a")
+    # Two equal-cost paths to d (via b, via c): the lexicographically
+    # smaller first hop wins, deterministically.
+    assert table["d"] == (2.0, "b")
+    # The stub host sits one unit behind its router, same first hop.
+    assert table["h"] == (3.0, "b")
+
+
+def test_spf_lower_cost_beats_name_order():
+    lsdb = {
+        "a": lsa("a", 1, [("b", 1.0), ("z", 1.0)]),
+        "b": lsa("b", 1, [("a", 1.0), ("d", 9.0)]),
+        "z": lsa("z", 1, [("a", 1.0), ("d", 1.0)]),
+        "d": lsa("d", 1, [("b", 9.0), ("z", 1.0)]),
+    }
+    assert spf_first_hops(lsdb, "a")["d"] == (2.0, "z")
+
+
+def test_spf_ignores_one_way_adjacencies():
+    # b advertises b-d but d does not advertise it back (d has learned
+    # the link is dead): the edge must not carry any route.
+    lsdb = {
+        "a": lsa("a", 1, [("b", 1.0), ("c", 1.0)]),
+        "b": lsa("b", 2, [("a", 1.0), ("d", 1.0)]),
+        "c": lsa("c", 1, [("a", 1.0), ("d", 1.0)]),
+        "d": lsa("d", 3, [("c", 1.0)]),
+    }
+    assert spf_first_hops(lsdb, "a")["d"] == (2.0, "c")
+
+
+def test_start_matches_the_static_snapshot_helper():
+    kernel = Kernel()
+    net = diamond(kernel)
+    install_spf_routes(net)
+    static_tables = {
+        r.name: dict(r.routes) for r in net.routers
+    }
+    LinkStateRouting(kernel, net).start()
+    live_tables = {r.name: dict(r.routes) for r in net.routers}
+    assert live_tables == static_tables
+    # And the predicted path agrees with the installed first hops.
+    assert predict_path(net, "src", "dst") == [
+        "src", "r1", "r2", "r4", "dst"]
+
+
+# ----------------------------------------------------------------------
+# LSA origination, flooding, dedup
+# ----------------------------------------------------------------------
+def test_link_failure_floods_and_reconverges_every_lsdb():
+    kernel = Kernel()
+    net = diamond(kernel)
+    routing = LinkStateRouting(kernel, net, spf_delay=0.05)
+    routing.start()
+    assert net.device("r1").egress_for("dst").link is \
+        net.link_between("r1", "r2")
+
+    kernel.schedule(1.0, net.link_between("r1", "r2").fail)
+    kernel.run(until=2.0)
+
+    # Both endpoints re-originated; the flood reached every router.
+    seqs = {name: {o: l.seq for o, l in node.lsdb.items()}
+            for name, node in routing.nodes.items()}
+    reference = seqs["r4"]
+    assert all(s == reference for s in seqs.values())
+    assert reference["r1"] == 2 and reference["r2"] == 2
+    assert routing.lsas_flooded > 0
+    # Every router rerouted dst traffic through the surviving path.
+    assert net.device("r1").egress_for("dst").link is \
+        net.link_between("r1", "r3")
+
+
+def test_stale_lsa_is_dropped_without_reflooding():
+    kernel = Kernel()
+    net = diamond(kernel)
+    routing = LinkStateRouting(kernel, net, spf_delay=0.05)
+    routing.start()
+    kernel.schedule(1.0, net.link_between("r1", "r2").fail)
+    kernel.run(until=2.0)
+
+    node = routing.nodes["r4"]
+    flooded_before = routing.lsas_flooded
+    stale = lsa("r1", 1, [("r2", 1.0), ("r3", 1.0)], stubs=["src"])
+    routing._deliver("r4", stale, "r2")
+    # Sequence-number dedup: the old copy neither replaces the fresher
+    # LSDB entry nor triggers another flooding round.
+    assert node.lsdb["r1"].seq == 2
+    assert routing.lsas_flooded == flooded_before
+
+
+def test_flap_restores_the_original_tables():
+    kernel = Kernel()
+    net = diamond(kernel)
+    routing = LinkStateRouting(kernel, net, spf_delay=0.05)
+    routing.start()
+    before = {r.name: dict(r.routes) for r in net.routers}
+    link = net.link_between("r1", "r2")
+    kernel.schedule(1.0, link.fail)
+    kernel.schedule(2.0, link.restore)
+    kernel.run(until=3.0)
+    assert {r.name: dict(r.routes) for r in net.routers} == before
+
+
+# ----------------------------------------------------------------------
+# End-to-end reroute
+# ----------------------------------------------------------------------
+def test_reroute_restores_datagram_delivery():
+    kernel = Kernel()
+    net = diamond(kernel)
+    routing = LinkStateRouting(kernel, net, spf_delay=0.05)
+    routing.start()
+    got = []
+    DatagramSocket(kernel, net.nic_of("dst"), port=7,
+                   on_receive=lambda payload, pkt: got.append(
+                       (payload, kernel.now)))
+    sender = DatagramSocket(kernel, net.nic_of("src"))
+    for i in range(300):
+        kernel.schedule(0.01 * i, sender.send_to, "dst", 7, i, 500)
+    kernel.schedule(1.0, net.link_between("r1", "r2").fail)
+    kernel.run(until=4.0)
+
+    received = {payload for payload, _ in got}
+    # Everything sent before the cut arrived; everything sent after
+    # convergence (cut + spf_delay, plus margin) arrived via r3.
+    assert all(i in received for i in range(100))
+    assert all(i in received for i in range(110, 300))
+    assert net.device("r1").egress_for("dst").link is \
+        net.link_between("r1", "r3")
+
+
+def test_smoke_dynamic_resignal_arm_reconverges():
+    """CI route-smoke: small Waxman graph, one backbone cut.
+
+    The dynamic+resignal arm must restore the reserved stream to
+    full rate after the failure while the static arm stays collapsed.
+    """
+    from repro.experiments.route_exp import RouteArm, run_route_experiment
+
+    dynamic = run_route_experiment(
+        RouteArm("dynamic-resignal", True, True),
+        routers=12, duration=20.0, fail_at=5.0)
+    assert dynamic.pre_fail_fps() > 28.0
+    assert dynamic.spf_runs > 0 and dynamic.lsas_flooded > 0
+    assert dynamic.resignal_rounds >= 1
+    assert dynamic.recovery_rate_fps() >= 25.0
+
+    static = run_route_experiment(
+        RouteArm("static", False, False),
+        routers=12, duration=20.0, fail_at=5.0)
+    assert static.pre_fail_fps() > 28.0
+    assert static.recovery_rate_fps() < 3.0
+
+
+# ----------------------------------------------------------------------
+# Make-before-break re-signaling
+# ----------------------------------------------------------------------
+def establish(kernel, net, flow_id="video", rate=1.2e6):
+    net.nic_of("src").rsvp_agent.announce_path(flow_id, "dst")
+    kernel.run(until=kernel.now + 0.1)
+    reservation = net.nic_of("dst").rsvp_agent.reserve(
+        flow_id, FlowSpec(rate, 20_000))
+    kernel.run(until=kernel.now + 0.5)
+    assert reservation.is_established
+    return reservation
+
+
+def test_make_before_break_moves_the_reservation():
+    kernel = Kernel()
+    net = diamond(kernel, reserved=True)
+    routing = LinkStateRouting(kernel, net, spf_delay=0.05)
+    routing.start()
+    net.enable_intserv(refresh_interval=None)
+    sender_agent = net.nic_of("src").rsvp_agent
+    resignaler = ReservationResignaler(
+        kernel, routing, [sender_agent], delay=0.1)
+
+    reservation = establish(kernel, net)
+    r1, r2, r3 = (net.device(n) for n in ("r1", "r2", "r3"))
+    old_egress = r1.egress_for("dst")
+    assert old_egress.link is net.link_between("r1", "r2")
+    assert "video" in old_egress.qdisc.reserved_flows()
+
+    kernel.schedule(1.0, net.link_between("r1", "r2").fail)
+    kernel.run(until=kernel.now + 4.0)
+
+    # The reservation survived the cut and now guards the new path.
+    assert reservation.is_established
+    assert resignaler.resignals == 1
+    new_egress = r1.egress_for("dst")
+    assert new_egress.link is net.link_between("r1", "r3")
+    assert "video" in new_egress.qdisc.reserved_flows()
+    assert "video" in r3.egress_for("dst").qdisc.reserved_flows()
+    # The dead egress released its rate synchronously at link death,
+    # and the old transit hop was torn down behind the new path.
+    assert r1.rsvp_agent.reserved_rate(old_egress) == 0.0
+    assert "video" not in old_egress.qdisc.reserved_flows()
+    assert r2.rsvp_agent.reserved_rate(r2.egress_for("dst")) == 0.0
+    # No double booking anywhere on the surviving path.
+    for router in (r1, r3):
+        agent = router.rsvp_agent
+        total = sum(agent.reserved_rate(iface)
+                    for iface in router.interfaces.values())
+        assert total == pytest.approx(1.2e6)
+
+
+def test_resignal_on_an_unchanged_path_never_unseats_the_reservation():
+    """The late TEAR for a superseded epoch must not remove the live
+    installation when old and new paths share an egress."""
+    kernel = Kernel()
+    net = diamond(kernel, reserved=True)
+    install_spf_routes(net)
+    net.enable_intserv(refresh_interval=None)
+    reservation = establish(kernel, net)
+    sender_agent = net.nic_of("src").rsvp_agent
+
+    sender_agent.resignal("video")
+    # Long enough for the RESV_CONF round trip and every TEAR resend.
+    kernel.run(until=kernel.now + 3.0)
+
+    assert reservation.is_established
+    r1 = net.device("r1")
+    egress = r1.egress_for("dst")
+    assert "video" in egress.qdisc.reserved_flows()
+    assert r1.rsvp_agent.reserved_rate(egress) == pytest.approx(1.2e6)
+
+
+# ----------------------------------------------------------------------
+# RoutingChecker + transient drop conservation (the bugfix sweep)
+# ----------------------------------------------------------------------
+def rec(kind, **fields):
+    return TraceRecord(1.0, "net", kind, fields=fields)
+
+
+def test_routing_checker_rejects_a_route_onto_a_dead_link():
+    kernel = Kernel()
+    net = diamond(kernel)
+    install_spf_routes(net)
+    checker = RoutingChecker()
+    checker.attach(World(kernel, network=net))
+    checker.on_event(rec("spf.install", router="r1"))  # healthy: passes
+
+    net.link_between("r1", "r2").fail()
+    # Static tables still point dst at the dead egress.
+    with pytest.raises(InvariantViolation, match="dead link"):
+        checker.on_event(rec("spf.install", router="r1"))
+
+
+def test_routing_checker_detects_a_forwarding_loop():
+    kernel = Kernel()
+    net = Network(kernel)
+    net.attach_host(Host(kernel, "h"))
+    ra, rb = net.add_router("ra"), net.add_router("rb")
+    net.link("ra", "rb")
+    net.link("rb", "h")
+    net.compute_routes()
+    # Corrupt: ra and rb each point h's traffic at the other.
+    ra.routes["h"] = ra.interfaces["ra->rb"]
+    rb.routes["h"] = rb.interfaces["rb->ra"]
+    checker = RoutingChecker()
+    checker.attach(World(kernel, network=net))
+    with pytest.raises(InvariantViolation, match="loop"):
+        checker.final_check()
+
+
+def test_transient_window_drops_are_conserved_under_the_checkers():
+    """Satellite regression: a packet that becomes unroutable during a
+    routing transient must end in an *accounted* drop — the full
+    default checker suite (packet conservation included) watches a
+    live reroute where the destination's only uplink dies."""
+    kernel = Kernel()
+    net = diamond(kernel)
+    routing = LinkStateRouting(kernel, net, spf_delay=0.05)
+    routing.start()
+    suite = default_suite()
+    suite.install(World(kernel, network=net, routing=routing))
+
+    got = []
+    DatagramSocket(kernel, net.nic_of("dst"), port=7,
+                   on_receive=lambda payload, pkt: got.append(payload))
+    sender = DatagramSocket(kernel, net.nic_of("src"))
+    for i in range(200):
+        kernel.schedule(0.01 * i, sender.send_to, "dst", 7, i, 500)
+    # dst's only uplink dies: after convergence every router loses its
+    # route and later packets must die as accounted unroutable drops.
+    kernel.schedule(1.0, net.link_between("r4", "dst").fail)
+    kernel.run(until=3.0)
+    suite.final_check()
+    suite.uninstall()
+
+    r1 = net.device("r1")
+    assert r1.egress_for("dst") is None
+    assert r1.drops_by_reason.get("unroutable", 0) > 0
+    assert r1.dropped == r1.unroutable
+    # Conservation arithmetic: everything sent is delivered, queued on
+    # a dead egress, or dropped with a reason — nothing vanished.
+    assert len(got) < 200

@@ -1,0 +1,116 @@
+"""Topology generators: determinism, connectivity, survivability."""
+
+import pytest
+
+from repro.sim import Kernel
+from repro.net import (
+    Network,
+    fat_tree_topology,
+    generate_topology,
+    wan_topology,
+    waxman_topology,
+)
+
+
+def fresh_net():
+    return Network(Kernel())
+
+
+def reachable(topo, down=frozenset()):
+    """Routers reachable from the first one, ignoring ``down`` edges."""
+    adjacency = {name: set() for name in topo.routers}
+    for a, b in topo.links:
+        if frozenset((a, b)) in down:
+            continue
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+    seen = {topo.routers[0]}
+    frontier = [topo.routers[0]]
+    while frontier:
+        for peer in adjacency[frontier.pop()]:
+            if peer not in seen:
+                seen.add(peer)
+                frontier.append(peer)
+    return seen
+
+
+# ----------------------------------------------------------------------
+# Determinism
+# ----------------------------------------------------------------------
+def test_waxman_same_seed_identical_edge_list():
+    a = waxman_topology(fresh_net(), 40, seed=7)
+    b = waxman_topology(fresh_net(), 40, seed=7)
+    assert a.routers == b.routers
+    assert a.links == b.links
+
+
+def test_waxman_different_seed_differs():
+    a = waxman_topology(fresh_net(), 40, seed=7)
+    b = waxman_topology(fresh_net(), 40, seed=8)
+    assert a.links != b.links
+
+
+@pytest.mark.parametrize("kind", ["waxman", "fattree", "wan"])
+def test_generate_topology_is_reproducible(kind):
+    a = generate_topology(fresh_net(), kind, 50, seed=3)
+    b = generate_topology(fresh_net(), kind, 50, seed=3)
+    assert a.routers == b.routers
+    assert a.links == b.links
+    assert len(a.routers) >= 50
+
+
+# ----------------------------------------------------------------------
+# Connectivity and single-failure survivability
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", ["waxman", "fattree", "wan"])
+def test_generated_graphs_are_connected(kind):
+    topo = generate_topology(fresh_net(), kind, 50, seed=1)
+    assert reachable(topo) == set(topo.routers)
+
+
+def test_waxman_survives_any_single_link_failure():
+    """The spanning cycle guarantees 2-edge-connectivity: no single
+    backbone cut may partition a fig 11 topology."""
+    topo = waxman_topology(fresh_net(), 24, seed=5)
+    everyone = set(topo.routers)
+    for edge in topo.links:
+        assert reachable(topo, down={frozenset(edge)}) == everyone, (
+            f"cutting {edge} partitioned the graph")
+
+
+def test_wan_backbone_survives_any_single_interpop_failure():
+    topo = wan_topology(fresh_net(), pops=6, routers_per_pop=3)
+    everyone = set(topo.routers)
+    gateways = {f"pop{p}r0" for p in range(6)}
+    for edge in topo.links:
+        if not set(edge) <= gateways:
+            continue  # intra-PoP rings are covered by the ring property
+        assert reachable(topo, down={frozenset(edge)}) == everyone
+
+
+# ----------------------------------------------------------------------
+# Structural counts
+# ----------------------------------------------------------------------
+def test_fat_tree_counts():
+    k = 4
+    topo = fat_tree_topology(fresh_net(), k)
+    half = k // 2
+    assert len(topo.routers) == half * half + k * k  # cores + pods
+    # Each pod fully meshes edge<->agg (half*half links) and each agg
+    # uplinks to half cores.
+    assert len(topo.links) == k * (half * half) + k * half * half
+
+
+def test_fat_tree_rejects_odd_k():
+    with pytest.raises(ValueError, match="even k"):
+        fat_tree_topology(fresh_net(), 3)
+
+
+def test_waxman_rejects_tiny_n():
+    with pytest.raises(ValueError, match="n >= 3"):
+        waxman_topology(fresh_net(), 2)
+
+
+def test_generate_topology_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown topology"):
+        generate_topology(fresh_net(), "torus", 16)

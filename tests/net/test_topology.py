@@ -95,6 +95,54 @@ def test_unroutable_packet_counted():
     assert router.unroutable == 1
 
 
+def test_recompute_after_partition_clears_stale_routes():
+    """Regression: ``compute_routes`` must clear before rebuilding.
+
+    Without the clear, partitioning the graph left every router's old
+    egress pointing into the removed link, silently parking packets on
+    a dead interface instead of counting an unroutable drop."""
+    kernel = Kernel()
+    net = Network(kernel)
+    a, b = Host(kernel, "a"), Host(kernel, "b")
+    net.attach_host(a)
+    net.attach_host(b)
+    r1, r2 = net.add_router("r1"), net.add_router("r2")
+    net.link(a, r1)
+    dead = net.link(r1, r2)
+    net.link(r2, b)
+    net.compute_routes()
+    assert r1.egress_for("b").link is dead
+
+    net.remove_link("r1", "r2")
+    net.compute_routes()
+
+    # The stale route is gone — not pointing at the removed link.
+    assert r1.egress_for("b") is None
+    enqueued_before = dead.a.qdisc.enqueued
+    DatagramSocket(kernel, net.nic_of("a")).send_to("b", 7, payload_bytes=10)
+    kernel.run()
+    # The packet died as an accounted unroutable drop at r1, and no
+    # forwarding ever touched the removed link.
+    assert r1.unroutable == 1
+    assert r1.drops_by_reason == {"unroutable": 1}
+    assert r1.dropped == 1
+    assert dead.a.qdisc.enqueued == enqueued_before
+    assert dead.a.bits_sent == 0
+
+
+def test_removed_link_cannot_be_restored():
+    kernel = Kernel()
+    net = Network(kernel)
+    net.attach_host(Host(kernel, "a"))
+    r1 = net.add_router("r1")
+    net.link("a", r1)
+    link = net.link_between("a", "r1")
+    net.remove_link("a", "r1")
+    assert link.removed and not link.up
+    link.restore()
+    assert not link.up
+
+
 def test_packet_to_unbound_port_counted():
     kernel = Kernel()
     net, hosts, _ = star_network(kernel, ["a", "b"])

@@ -5,7 +5,14 @@ from hypothesis import given, settings, strategies as st
 
 from repro.sim import Kernel, Process
 from repro.oskernel import Host
-from repro.net import FlowSpec, GuaranteedRateQueue, Network
+from repro.net import (
+    FlowSpec,
+    GuaranteedRateQueue,
+    LinkStateRouting,
+    Network,
+    ReservationError,
+    ReservationResignaler,
+)
 
 BOUND = 0.9
 LINK_BPS = 10e6
@@ -104,3 +111,136 @@ def test_prop_every_request_reaches_a_terminal_state(requests):
     assert len(reservations) == len(requests)
     for reservation in reservations:
         assert reservation.state in ("established", "failed")
+
+
+# ----------------------------------------------------------------------
+# The ledger through crashes, reroutes and re-admissions
+# ----------------------------------------------------------------------
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from([
+            "reserve", "tear", "cut2", "cut3", "restore2", "restore3",
+            "crash2", "crash3", "resignal",
+        ]),
+        st.floats(min_value=1e5, max_value=5e6),  # rate (reserve only)
+    ),
+    min_size=1, max_size=8,
+)
+
+
+def build_diamond(kernel):
+    """src - r1 - {r2, r3} - r4 - dst under live link-state routing."""
+    net = Network(kernel, default_bandwidth_bps=LINK_BPS)
+    for name in ("src", "dst"):
+        net.attach_host(Host(kernel, name))
+    for name in ("r1", "r2", "r3", "r4"):
+        net.add_router(name)
+
+    def q():
+        return GuaranteedRateQueue(kernel, band_capacity=50)
+
+    for a, b in (("src", "r1"), ("r1", "r2"), ("r1", "r3"),
+                 ("r2", "r4"), ("r3", "r4"), ("r4", "dst")):
+        net.link(a, b, qdisc_a=q(), qdisc_b=q())
+    routing = LinkStateRouting(kernel, net, spf_delay=0.05)
+    routing.start()
+    net.enable_intserv(utilization_bound=BOUND)
+    ReservationResignaler(kernel, routing,
+                          [net.nic_of("src").rsvp_agent], delay=0.1)
+    return net
+
+
+def assert_exact_ledgers(net):
+    """Σ reserved <= capacity on every interface, and the admission
+    table always mirrors the installed token buckets exactly."""
+    agents = [r.rsvp_agent for r in net.routers]
+    agents += [net.nic_of(h.name).rsvp_agent for h in net.hosts]
+    for agent in agents:
+        interfaces = agent.device.interfaces
+        if isinstance(interfaces, dict):
+            interfaces = list(interfaces.values())
+        for iface in interfaces:
+            booked = agent.reserved_rate(iface)
+            capacity = iface.link.bandwidth_bps * BOUND
+            assert booked <= capacity + 1e-6, (
+                f"{iface.name}: {booked} > {capacity}")
+            if not iface.link.up:
+                # Satellite contract: interface death releases its
+                # installed rate synchronously — a dead link may never
+                # keep bandwidth booked.
+                assert booked == 0.0, (
+                    f"{iface.name}: {booked} bps booked on a dead link")
+            if isinstance(iface.qdisc, GuaranteedRateQueue):
+                assert set(iface.qdisc.reserved_flows()) == set(
+                    agent._reserved.get(iface, {})), (
+                    f"{iface.name}: bucket/ledger mismatch")
+
+
+@given(OPS)
+@settings(max_examples=15, deadline=None)
+def test_prop_ledger_exact_through_crash_reroute_readmit(ops):
+    """The reserved-rate ledger stays exact (never oversubscribed,
+    buckets always mirroring the accounting) through any interleaving
+    of reservations, teardowns, link cuts/restores, router crashes and
+    make-before-break re-signaling."""
+    kernel = Kernel()
+    net = build_diamond(kernel)
+    src_agent = net.nic_of("src").rsvp_agent
+    dst_agent = net.nic_of("dst").rsvp_agent
+    l2 = net.link_between("r1", "r2")
+    l3 = net.link_between("r1", "r3")
+    flows = []
+
+    def crash(router):
+        links = [iface.link for iface in router.interfaces.values()]
+        for link in links:
+            if link.up:
+                link.fail()
+        router.rsvp_agent.drop_all_state()
+        yield 0.3
+        for link in links:
+            if not link.up:
+                link.restore()
+        yield 0.6  # convergence + re-signal debounce
+
+    def driver():
+        for kind, rate in ops:
+            if kind == "reserve":
+                flow_id = f"flow-{len(flows)}"
+                src_agent.announce_path(flow_id, "dst")
+                yield 0.05
+                try:
+                    reservation = dst_agent.reserve(
+                        flow_id, FlowSpec(rate, 10_000))
+                except ReservationError:
+                    continue  # PATH lost to a dead topology: no state
+                if reservation.state == "pending":
+                    yield reservation.established
+                flows.append((flow_id, reservation))
+            elif kind == "tear":
+                if flows:
+                    flow_id, reservation = flows.pop(0)
+                    if reservation.is_established:
+                        dst_agent.teardown(flow_id)
+                    yield 0.2
+            elif kind in ("cut2", "cut3"):
+                link = l2 if kind == "cut2" else l3
+                if link.up:
+                    link.fail()
+                yield 0.6
+            elif kind in ("restore2", "restore3"):
+                link = l2 if kind == "restore2" else l3
+                if not link.up:
+                    link.restore()
+                yield 0.6
+            elif kind in ("crash2", "crash3"):
+                router = net.device("r2" if kind == "crash2" else "r3")
+                yield from crash(router)
+            else:  # resignal
+                src_agent.resignal_all()
+                yield 0.6
+            assert_exact_ledgers(net)
+
+    Process(kernel, driver(), name="driver")
+    kernel.run(until=90.0)
+    assert_exact_ledgers(net)

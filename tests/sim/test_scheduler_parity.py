@@ -36,12 +36,14 @@ from repro.experiments.scenario_registry import (
     fault_arm_params,
     network_arm_params,
     priority_arm_params,
+    route_arm_params,
     scale_arm_params,
 )
 from repro.experiments.priority_exp import PriorityArm
 from repro.experiments.reservation_cpu_exp import CpuArm
 from repro.experiments.reservation_net_exp import NetworkArm
 from repro.experiments.fault_exp import FaultArm
+from repro.experiments.route_exp import RouteArm, route_arms
 from repro.scale.capacity_exp import CapacityArm
 from repro.scale.fig10 import ScaleArm
 from repro.check.soak import generate_case
@@ -81,6 +83,11 @@ def _parity_specs():
                 ScaleArm("adaptive", admission=True, adaptation=True)),
              "streams": 40, "duration": 2.0, "fluid": True,
              "bottleneck_bps": 10e6, "cross_traffic_bps": 4e6}, seed=1),
+        "route": RunSpec(
+            "route",
+            {"arm": route_arm_params(
+                RouteArm("dynamic-resignal", True, True)),
+             "routers": 12, "duration": 12.0, "fail_at": 3.0}, seed=1),
         "soak_case": RunSpec(
             "soak_case",
             {"case": generate_case(1, 0, duration=3.0, max_streams=4)}),
@@ -221,6 +228,36 @@ def test_worker_fanout_parity(monkeypatch, jobs, tmp_path):
     results = runner.run(specs)
     blob = pickle.dumps([r.payload for r in results])
     marker = tmp_path.parent / "parity_jobs_reference.pkl"
+    if marker.exists():
+        assert blob == marker.read_bytes(), (
+            f"jobs={jobs} diverged from the earlier worker count")
+    else:
+        marker.write_bytes(blob)
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_worker_fanout_parity_route(monkeypatch, jobs, tmp_path):
+    """Fig 11's rerouting arms survive worker fan-out unchanged.
+
+    The routing gauntlet stresses a different scheduler surface than
+    the capacity farm — LSA flood fan-out, coalesced SPF timers, and
+    RSVP make-before-break re-signaling all race on identical
+    timestamps — so it gets its own jobs=1-vs-4 pin.
+
+    Payloads are pickled one by one: a single dump of the whole list
+    would also encode *cross-payload* string sharing (interning makes
+    in-process payloads share router-name objects, worker round-trips
+    don't), which is pickle-memo trivia, not a determinism signal."""
+    specs = [
+        RunSpec("route",
+                {"arm": route_arm_params(arm), "routers": 12,
+                 "duration": 12.0, "fail_at": 3.0}, seed=1)
+        for arm in route_arms()
+    ]
+    runner = ExperimentRunner(jobs=jobs, cache=False)
+    results = runner.run(specs)
+    blob = pickle.dumps([pickle.dumps(r.payload) for r in results])
+    marker = tmp_path.parent / "parity_jobs_route_reference.pkl"
     if marker.exists():
         assert blob == marker.read_bytes(), (
             f"jobs={jobs} diverged from the earlier worker count")
