@@ -404,8 +404,14 @@ class ReserveLedgerChecker(InvariantChecker):
     def _check_rsvp_ledgers(self) -> None:
         for agent in self.world.rsvp_agents():
             for interface, table in agent._reserved.items():
+                # Admission was granted against the as-built rate; a
+                # fault-layer degrade may transiently leave admitted
+                # reservations above the *current* rate (the paper's
+                # adaptation story reacts to that — RSVP does not
+                # auto-revoke), so the ledger law binds the nominal.
                 capacity = (
-                    interface.link.bandwidth_bps * agent.utilization_bound
+                    interface.link.nominal_bandwidth_bps
+                    * agent.utilization_bound
                 )
                 reserved = 0.0
                 for flow_id, rate in table.items():
@@ -927,6 +933,151 @@ class RoutingChecker(InvariantChecker):
             self._check_lsdb_consistency(network, routing)
 
 
+class PubSubChecker(InvariantChecker):
+    """The pub-sub layer's delivery and resource laws.
+
+    Runtime (per ``pubsub`` trace record):
+
+    * liveliness transitions alternate — a writer may not be declared
+      lost twice without a revival in between (the same-tick lease
+      expiry fix's invariant, kept honest forever);
+    * an ``ownership.failover`` record's new owner must be a live
+      registered writer of that topic (or ``None`` when every
+      candidate is dead).
+
+    Teardown (when a :class:`~repro.pubsub.broker.Broker` is
+    registered on the world):
+
+    * **history bound** — no reader's cache ever held more samples
+      than its declared depth (KEEP_LAST evicts, KEEP_ALL rejects;
+      neither may silently grow);
+    * **at-most-once** — a reader never delivered the same (writer,
+      seq) twice, and per match delivered <= sent (reliable endpoints
+      may still be draining at the horizon, but can never *exceed*
+      what the writer sent);
+    * **no unmatched delivery** — every writer a reader delivered
+      from appears in its match table, and the reader's arrival
+      counters close exactly (received = delivered + duplicates +
+      filtered + unmatched);
+    * **ownership** — the recorded owner of every topic is the
+      strongest live EXCLUSIVE writer (name-ordered on ties), and
+      every EXCLUSIVE reader agrees with the broker.
+    """
+
+    name = "pubsub"
+    layers = ("pubsub",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_liveliness: Dict[str, str] = {}
+
+    def _broker(self):
+        return getattr(self.world, "pubsub", None) if self.world else None
+
+    def on_event(self, record: TraceRecord) -> None:
+        self.events_seen += 1
+        fields = record.fields or {}
+        if record.kind in ("liveliness.lost", "liveliness.revived"):
+            writer = fields.get("writer")
+            state = record.kind.split(".")[1]
+            self.require(
+                self._last_liveliness.get(writer) != state,
+                "liveliness flapped: repeated transition without "
+                "the opposite in between",
+                writer=writer, transition=state,
+            )
+            self._last_liveliness[writer] = state
+        elif record.kind == "ownership.failover":
+            broker = self._broker()
+            new = fields.get("new")
+            if broker is None or new is None:
+                return
+            writer = broker.writers.get(new)
+            self.require(
+                writer is not None
+                and writer.topic.name == fields.get("topic")
+                and broker.writer_alive(new),
+                "ownership handed to a dead or unknown writer",
+                topic=fields.get("topic"), new=new,
+            )
+
+    def final_check(self) -> None:
+        broker = self._broker()
+        if broker is None:
+            return
+        from repro.pubsub.policies import OwnershipKind
+
+        for reader in broker.readers.values():
+            history = reader.history
+            self.require(
+                history.max_held <= history.depth,
+                "history cache exceeded its declared depth",
+                reader=reader.name, held=history.max_held,
+                depth=history.depth,
+            )
+            self.require(
+                reader.duplicates == 0,
+                "a (writer, seq) sample was delivered twice",
+                reader=reader.name, duplicates=reader.duplicates,
+            )
+            delivered_per_writer = {
+                writer: len(seqs) for writer, seqs in reader._seen.items()
+            }
+            for writer_name, count in delivered_per_writer.items():
+                match = reader.matched.get(writer_name)
+                self.require(
+                    match is not None,
+                    "samples delivered from a writer the reader never "
+                    "matched",
+                    reader=reader.name, writer=writer_name,
+                )
+                if match is not None:
+                    self.require(
+                        count <= match.sent,
+                        "reader delivered more samples than the match "
+                        "sent",
+                        reader=reader.name, writer=writer_name,
+                        delivered=count, sent=match.sent,
+                    )
+            self.require(
+                reader.delivered == sum(delivered_per_writer.values()),
+                "delivered count drifted from the per-writer ledgers",
+                reader=reader.name, delivered=reader.delivered,
+            )
+            self.require(
+                reader.samples_received == (
+                    reader.delivered + reader.duplicates
+                    + reader.ownership_filtered + reader.from_unmatched),
+                "reader arrival accounting does not close",
+                reader=reader.name, received=reader.samples_received,
+            )
+
+        for topic_name, owner in broker.owners.items():
+            candidates = [
+                w for w in broker.writers.values()
+                if w.topic.name == topic_name
+                and w.qos.ownership is OwnershipKind.EXCLUSIVE
+                and broker.writer_alive(w.name)
+            ]
+            expected = (min(candidates,
+                            key=lambda w: (-w.qos.strength, w.name)).name
+                        if candidates else None)
+            self.require(
+                owner == expected,
+                "recorded owner is not the strongest live writer",
+                topic=topic_name, owner=owner, expected=expected,
+            )
+            for reader in broker.readers.values():
+                if (reader.topic.name == topic_name
+                        and reader.qos.ownership is OwnershipKind.EXCLUSIVE):
+                    self.require(
+                        reader.owner == owner,
+                        "reader's owner view drifted from the broker",
+                        reader=reader.name, reader_owner=reader.owner,
+                        broker_owner=owner,
+                    )
+
+
 def default_suite() -> CheckSuite:
     """All built-in monitors, ready to ``install`` on a world."""
     return CheckSuite([
@@ -939,4 +1090,5 @@ def default_suite() -> CheckSuite:
         ThreadStateChecker(),
         FluidConservationChecker(),
         RoutingChecker(),
+        PubSubChecker(),
     ])

@@ -42,6 +42,17 @@ CROSS_BPS = (0.0, 2e6, 4e6)
 FAULT_LINKS = (("src", "router"), ("load", "router"), ("router", "dst"))
 _FAULT_KINDS = ("link_flap", "loss_burst", "link_degrade", "node_crash")
 
+#: The fig 12 QoS arms, all soak-eligible under the pub-sub family.
+PUBSUB_ARMS = ("best-effort", "reliable", "adaptive", "ownership")
+#: Fan-out bottlenecks to sample (under/at/over the fig 12 nominal).
+PUBSUB_BOTTLENECKS_BPS = (30e6, 60e6, 120e6)
+#: Pub-sub topology targets for random faults.
+PUBSUB_FAULT_LINKS = (("pub0", "router"), ("pub1", "router"),
+                      ("brk", "router"), ("router", "sub"))
+PUBSUB_FAULT_NODES = ("pub0", "pub1", "pub2", "pub3", "brk")
+#: Smallest legal pub-sub population (the measured cohort itself).
+PUBSUB_MIN_SUBSCRIBERS = 16
+
 #: Large odd multiplier decorrelating per-case seeds from the root.
 _SEED_STRIDE = 1_000_003
 
@@ -53,14 +64,15 @@ def case_seed(root_seed: int, index: int) -> int:
 # ----------------------------------------------------------------------
 # Configuration generation
 # ----------------------------------------------------------------------
-def _random_fault(rng: random.Random, duration: float) -> Dict:
+def _random_fault(rng: random.Random, duration: float,
+                  links=FAULT_LINKS, nodes=("router",)) -> Dict:
     kind = rng.choice(_FAULT_KINDS)
     at = round(rng.uniform(0.5, max(0.6, duration - 0.5)), 3)
     window = round(rng.uniform(0.3, 1.5), 3)
     if kind == "node_crash":
-        return {"kind": kind, "node": "router", "at": at,
+        return {"kind": kind, "node": rng.choice(nodes), "at": at,
                 "duration": window, "lose_state": rng.random() < 0.5}
-    link = list(rng.choice(FAULT_LINKS))
+    link = list(rng.choice(links))
     fault = {"kind": kind, "link": link, "at": at, "duration": window}
     if kind == "loss_burst":
         fault["loss"] = round(rng.uniform(0.05, 0.9), 3)
@@ -75,20 +87,38 @@ def generate_case(root_seed: int, index: int, duration: float = 6.0,
 
     Pure in ``(root_seed, index)``: the same pair always produces the
     same JSON-able case dict, which is what makes shrinking and replay
-    exact.
+    exact.  Two families alternate under one seed stream: the fig 9
+    capacity farm and the fig 12 pub-sub fan-out.
     """
     seed = case_seed(root_seed, index)
     rng = random.Random(seed)
     n_faults = rng.randint(0, 4)
+    if rng.random() < 0.5:
+        return {
+            "index": int(index),
+            "seed": int(seed),
+            "family": "capacity",
+            "arm": rng.choice(ARMS),
+            "streams": rng.randint(1, max(1, int(max_streams))),
+            "duration": float(duration),
+            "bottleneck_bps": rng.choice(BOTTLENECKS_BPS),
+            "cross_traffic_bps": rng.choice(CROSS_BPS),
+            "faults": [_random_fault(rng, duration)
+                       for _ in range(n_faults)],
+        }
     return {
         "index": int(index),
         "seed": int(seed),
-        "arm": rng.choice(ARMS),
-        "streams": rng.randint(1, max(1, int(max_streams))),
+        "family": "pubsub",
+        "arm": rng.choice(PUBSUB_ARMS),
+        "subscribers": rng.choice((16, 32, 128, 512)),
         "duration": float(duration),
-        "bottleneck_bps": rng.choice(BOTTLENECKS_BPS),
-        "cross_traffic_bps": rng.choice(CROSS_BPS),
-        "faults": [_random_fault(rng, duration) for _ in range(n_faults)],
+        "bottleneck_bps": rng.choice(PUBSUB_BOTTLENECKS_BPS),
+        "faults": [
+            _random_fault(rng, duration, links=PUBSUB_FAULT_LINKS,
+                          nodes=PUBSUB_FAULT_NODES)
+            for _ in range(n_faults)
+        ],
     }
 
 
@@ -107,29 +137,57 @@ def run_soak_case(case: Dict) -> Dict:
     ``ok`` is True when the run completed and every invariant (runtime
     and teardown) held.  Violations carry the checker name and message;
     any other exception is reported as a crash — a soak failure either
-    way.
+    way.  ``case["family"]`` selects the scenario (``"capacity"``, the
+    default for pre-family replay dicts, or ``"pubsub"``).
     """
-    from repro.scale.capacity_exp import all_arms, run_capacity_experiment
-
     suite = default_suite()
     verdict = {"ok": True, "case": dict(case), "checker": None,
                "message": None, "failure": None, "events": 0}
+    family = case.get("family", "capacity")
     try:
-        arms = {a.name: a for a in all_arms()}
-        arm = arms.get(case["arm"])
-        if arm is None:
-            raise ValueError(f"unknown soak arm {case['arm']!r} "
-                             f"(have {sorted(arms)})")
-        result = run_capacity_experiment(
-            arm,
-            streams=int(case["streams"]),
-            duration=float(case["duration"]),
-            seed=int(case["seed"]),
-            bottleneck_bps=float(case["bottleneck_bps"]),
-            cross_traffic_bps=float(case["cross_traffic_bps"]),
-            fault_plan=case.get("faults") or None,
-            checks=suite,
-        )
+        if family == "pubsub":
+            from repro.pubsub.fig12 import (
+                PubSubArm, pubsub_arms, run_pubsub_experiment)
+            arms = {a.name: a for a in pubsub_arms()}
+            arm = arms.get(case["arm"])
+            if arm is None:
+                raise ValueError(f"unknown pubsub soak arm {case['arm']!r} "
+                                 f"(have {sorted(arms)})")
+            result = run_pubsub_experiment(
+                arm,
+                subscribers=int(case["subscribers"]),
+                duration=float(case["duration"]),
+                seed=int(case["seed"]),
+                bottleneck_bps=float(case["bottleneck_bps"]),
+                fault_plan=case.get("faults") or [],
+                checks=suite,
+            )
+            verdict["delivered"] = sum(
+                row.delivered for row in result.reader_rows)
+            verdict["sent"] = sum(
+                row.sent_to for row in result.reader_rows)
+        elif family == "capacity":
+            from repro.scale.capacity_exp import (
+                all_arms, run_capacity_experiment)
+            arms = {a.name: a for a in all_arms()}
+            arm = arms.get(case["arm"])
+            if arm is None:
+                raise ValueError(f"unknown soak arm {case['arm']!r} "
+                                 f"(have {sorted(arms)})")
+            result = run_capacity_experiment(
+                arm,
+                streams=int(case["streams"]),
+                duration=float(case["duration"]),
+                seed=int(case["seed"]),
+                bottleneck_bps=float(case["bottleneck_bps"]),
+                cross_traffic_bps=float(case["cross_traffic_bps"]),
+                fault_plan=case.get("faults") or None,
+                checks=suite,
+            )
+            verdict["delivered"] = result.total("delivered")
+            verdict["sent"] = result.total("sent")
+        else:
+            raise ValueError(f"unknown soak family {family!r}")
     except InvariantViolation as violation:
         verdict.update(ok=False, failure="invariant",
                        checker=violation.checker, message=str(violation))
@@ -139,8 +197,6 @@ def run_soak_case(case: Dict) -> Dict:
                        message=f"{type(exc).__name__}: {exc}")
         return verdict
     verdict["events"] = result.events_executed
-    verdict["delivered"] = result.total("delivered")
-    verdict["sent"] = result.total("sent")
     verdict["checked"] = suite.events_dispatched
     return verdict
 
@@ -187,8 +243,13 @@ def shrink_case(case: Dict, budget: int = 20,
             else:
                 index += 1
     best = {**best, "faults": faults}
-    while best["streams"] > 1:
-        candidate = {**best, "streams": max(1, best["streams"] // 2)}
+    if best.get("family", "capacity") == "pubsub":
+        load_key, floor = "subscribers", PUBSUB_MIN_SUBSCRIBERS
+    else:
+        load_key, floor = "streams", 1
+    while best[load_key] > floor:
+        candidate = {**best,
+                     load_key: max(floor, best[load_key] // 2)}
         if fails(candidate):
             best = candidate
         else:

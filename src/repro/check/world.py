@@ -49,6 +49,9 @@ class World:
     routing:
         Optional :class:`~repro.net.routing.LinkStateRouting`; enables
         the LSDB-vs-installed-table consistency checks.
+    pubsub:
+        Optional :class:`~repro.pubsub.broker.Broker`; enables the
+        pub-sub delivery/history invariant checks.
     """
 
     def __init__(
@@ -60,6 +63,7 @@ class World:
         admission=None,
         fluid=None,
         routing=None,
+        pubsub=None,
     ) -> None:
         self.kernel = kernel
         self.network = network
@@ -68,6 +72,7 @@ class World:
         self.admission = admission
         self.fluid = fluid
         self.routing = routing
+        self.pubsub = pubsub
 
     # ------------------------------------------------------------------
     # Discovery walks

@@ -57,6 +57,7 @@ from repro.experiments.scenario_registry import (
     figure_specs,
     network_arm_params,
     priority_arm_params,
+    pubsub_arm_params,
     route_arm_params,
     scale_arm_params,
 )
@@ -322,6 +323,43 @@ def _cmd_scale(args: argparse.Namespace) -> int:
     for payload in payloads:
         sweeps[payload.arm.name].append(payload)
     print(render_fig10_scale(sweeps))
+    return 0
+
+
+def _cmd_pubsub(args: argparse.Namespace) -> int:
+    """Fig 12: the declarative-QoS pub-sub fan-out gauntlet."""
+    from repro.pubsub.fig12 import pubsub_arms, render_fig12_pubsub
+
+    arms = pubsub_arms()
+    if args.arm is not None:
+        matches = [arm for arm in arms if arm.name == args.arm]
+        if not matches:
+            names = ", ".join(arm.name for arm in arms)
+            raise SystemExit(
+                f"unknown arm {args.arm!r}; choose from: {names}")
+        arms = matches
+    try:
+        counts = sorted({int(part) for part in args.subscribers.split(",")
+                         if part.strip()})
+    except ValueError:
+        raise SystemExit(f"bad --subscribers value {args.subscribers!r}; "
+                         "expected a comma-separated list of counts")
+    if not counts or counts[0] < 1:
+        raise SystemExit("--subscribers needs at least one positive count")
+    print(f"running {', '.join(arm.name for arm in arms)} x "
+          f"M={{{', '.join(str(c) for c in counts)}}} "
+          f"({args.duration:.0f}s simulated each) ...",
+          file=sys.stderr)
+    payloads = _runner(args).payloads([
+        RunSpec("pubsub",
+                {"arm": pubsub_arm_params(arm), "subscribers": count,
+                 "duration": args.duration}, seed=args.seed)
+        for arm in arms for count in counts
+    ])
+    sweeps = {arm.name: [] for arm in arms}
+    for payload in payloads:
+        sweeps[payload.arm.name].append(payload)
+    print(render_fig12_pubsub(sweeps))
     return 0
 
 
@@ -635,6 +673,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="packet-simulate every stream instead of the "
                         "hybrid fluid model (validation mode; only "
                         "sensible at small N)")
+
+    p = add("pubsub", _cmd_pubsub,
+            "fig 12 declarative-QoS pub-sub fan-out gauntlet "
+            "(K publishers x M subscribers x four arms)", 8.0)
+    p.add_argument("--subscribers", default="128,1024,2048",
+                   help="comma-separated total-subscriber counts "
+                        "(default 128,1024,2048)")
+    p.add_argument("--arm", default=None,
+                   help="run a single arm (best-effort, reliable, "
+                        "adaptive, ownership)")
 
     p = sub.add_parser(
         "soak",

@@ -50,6 +50,12 @@ from repro.scale.fig10 import (
     run_scale_experiment,
     scale_arms,
 )
+from repro.pubsub.fig12 import (
+    PubSubArm,
+    fig12_subscriber_counts,
+    pubsub_arms,
+    run_pubsub_experiment,
+)
 
 
 def priority_arm_params(arm: PriorityArm) -> Dict[str, Any]:
@@ -140,6 +146,18 @@ def scale_arm_params(arm: ScaleArm) -> Dict[str, Any]:
 def _scale(arm: Dict[str, Any], seed: int = 1, **kwargs: Any):
     """Fig 10 hybrid fluid/packet scale arms (10^2..10^5 streams)."""
     return run_scale_experiment(ScaleArm(**arm), seed=seed, **kwargs)
+
+
+def pubsub_arm_params(arm: PubSubArm) -> Dict[str, Any]:
+    return {"name": arm.name, "reliable": arm.reliable,
+            "adaptive": arm.adaptive, "ownership": arm.ownership,
+            "faults": arm.faults}
+
+
+@scenario("pubsub")
+def _pubsub(arm: Dict[str, Any], seed: int = 1, **kwargs: Any):
+    """Fig 12 declarative-QoS pub-sub fan-out arms."""
+    return run_pubsub_experiment(PubSubArm(**arm), seed=seed, **kwargs)
 
 
 @scenario("soak_case")
@@ -244,6 +262,13 @@ def figure_specs() -> "Dict[str, list]":
                      "duration": 8.0, "fluid": True}, seed=1)
             for arm in scale_arms()
             for count in fig10_stream_counts()
+        ],
+        "fig12_pubsub": [
+            RunSpec("pubsub",
+                    {"arm": pubsub_arm_params(arm), "subscribers": count,
+                     "duration": 8.0}, seed=1)
+            for arm in pubsub_arms()
+            for count in fig12_subscriber_counts()
         ],
         "fig11_route": [
             RunSpec("route",

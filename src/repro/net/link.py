@@ -172,7 +172,8 @@ class Link:
         One-way propagation delay in seconds.
     """
 
-    __slots__ = ("kernel", "bandwidth_bps", "delay", "a", "b", "up",
+    __slots__ = ("kernel", "bandwidth_bps", "nominal_bandwidth_bps",
+                 "delay", "a", "b", "up",
                  "packets_lost", "loss_probability", "loss_rng",
                  "listeners", "removed")
 
@@ -190,6 +191,9 @@ class Link:
             raise ValueError(f"delay must be non-negative, got {delay}")
         self.kernel = kernel
         self.bandwidth_bps = float(bandwidth_bps)
+        #: As-built rate: admission decisions were made against this;
+        #: fault-layer degrades mutate ``bandwidth_bps`` only.
+        self.nominal_bandwidth_bps = float(bandwidth_bps)
         self.delay = float(delay)
         self.a = a
         self.b = b

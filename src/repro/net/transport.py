@@ -174,6 +174,8 @@ class StreamConnection:
         remote_port: int,
         dscp: Dscp = Dscp.BE,
         on_message: Optional[MessageReceiver] = None,
+        max_rtos: Optional[int] = None,
+        window: Optional[int] = None,
     ) -> None:
         self.kernel = kernel
         self.nic = nic
@@ -182,6 +184,14 @@ class StreamConnection:
         self.remote_port = remote_port
         self.dscp = dscp
         self.on_message = on_message
+        #: Per-connection give-up threshold; QoS layers (e.g. pub-sub
+        #: RELIABLE endpoints) may bound retransmission effort below
+        #: the class default.
+        self.max_consecutive_rtos = (
+            self.MAX_CONSECUTIVE_RTOS if max_rtos is None else int(max_rtos))
+        #: Per-connection cwnd cap: low-rate flows bound their slow-
+        #: start overshoot well below the default bulk window.
+        self.window = self.WINDOW if window is None else int(window)
         # --- sender state ---
         self._next_seq = 0
         self._base = 0  # oldest unacked seq
@@ -196,7 +206,7 @@ class StreamConnection:
         self._rttvar = 0.0
         # Slow start / AIMD congestion control (segment units).
         self._cwnd = float(self.INITIAL_CWND)
-        self._ssthresh = float(self.WINDOW)
+        self._ssthresh = float(self.window)
         self._last_ecn_reaction = float("-inf")
         #: Congestion-window reductions triggered by ECN echoes.
         self.ecn_responses = 0
@@ -229,12 +239,15 @@ class StreamConnection:
         remote_port: int,
         dscp: Dscp = Dscp.BE,
         on_message: Optional[MessageReceiver] = None,
+        max_rtos: Optional[int] = None,
+        window: Optional[int] = None,
     ) -> "StreamConnection":
         """Open a client connection from an ephemeral local port."""
         local_port = nic.allocate_port()
         conn = cls(
             kernel, nic, local_port, remote_host, remote_port,
-            dscp=dscp, on_message=on_message,
+            dscp=dscp, on_message=on_message, max_rtos=max_rtos,
+            window=window,
         )
         nic.bind(Protocol.TCP, local_port, conn._deliver)
         return conn
@@ -273,7 +286,7 @@ class StreamConnection:
 
     @property
     def _window(self) -> int:
-        return min(self.WINDOW, max(self.INITIAL_CWND, int(self._cwnd)))
+        return min(self.window, max(self.INITIAL_CWND, int(self._cwnd)))
 
     def _pump(self) -> None:
         while self._backlog and len(self._in_flight) < self._window:
@@ -315,7 +328,7 @@ class StreamConnection:
         if not self._in_flight or self.closed:
             return
         self._consecutive_rtos += 1
-        if self._consecutive_rtos > self.MAX_CONSECUTIVE_RTOS:
+        if self._consecutive_rtos > self.max_consecutive_rtos:
             # Peer looks dead: give up rather than retransmit forever.
             self.close()
             return

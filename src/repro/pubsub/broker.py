@@ -1,0 +1,254 @@
+"""Discovery/matching broker with liveliness and ownership arbitration.
+
+The broker is the control plane of :mod:`repro.pubsub`:
+
+* **discovery/matching** — every registered writer is checked against
+  every registered reader on the same topic with the pure
+  :func:`~repro.pubsub.matching.rxo_check`; compatible pairs get a
+  :class:`~repro.pubsub.core.Match` installed on both endpoints.
+  Control-plane actions are direct calls (like the admission
+  controller), only the *data* plane rides packets.
+* **liveliness** — one
+  :class:`~repro.pubsub.liveliness.LivelinessMonitor` per leased
+  writer, fed by heartbeat datagrams to the broker host's well-known
+  port (:data:`~repro.pubsub.core.BROKER_PORT`).  A node crash fails
+  the writer host's links, its heartbeats stop arriving, and one
+  lease later the monitor declares the writer dead.
+* **ownership** — per topic, EXCLUSIVE readers accept only the
+  strongest *live* writer; ties break to the lexicographically
+  smallest writer name so failover is deterministic.  Owner changes
+  are pushed to readers (out-of-band discovery, the usual DDS
+  simplification) and traced as ``pubsub ownership.failover``.
+* **admission** — a RELIABLE match whose writer offers KEEP_ALL
+  history claims reserve budget from the admission controller
+  (topic wire rate, writer host → reader host).  Granted matches are
+  promoted to EF; denied ones still form but stay best-effort-class
+  on the wire.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.net.diffserv import Dscp
+from repro.net.transport import DatagramSocket
+from repro.pubsub.core import BROKER_PORT, DataReader, DataWriter, Match
+from repro.pubsub.liveliness import LivelinessMonitor
+from repro.pubsub.matching import rxo_check
+from repro.pubsub.policies import HistoryKind, OwnershipKind
+from repro.sim.kernel import Kernel
+
+__all__ = ["Broker", "RESERVE_HEADROOM"]
+
+#: Reserved matches book this multiple of the topic's nominal wire
+#: rate — slack for retransmissions and congestion-window bursts, the
+#: same reserve-above-nominal idiom the fig 9 RSVP reservations use.
+#: 1.5x leaves the phase-late reader of each topic with a queueing
+#: RTT right at the retransmit timeout (spurious RTOs, cwnd collapse,
+#: unbounded backlog); 2x keeps the reserved band short enough that
+#: every reliable reader drains at the offered rate.
+RESERVE_HEADROOM = 2.0
+
+
+class Broker:
+    """Topic discovery, RxO matching, liveliness and ownership."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        nic: Optional[Any] = None,
+        admission: Optional[Any] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.nic = nic
+        self.admission = admission
+        self.writers: Dict[str, DataWriter] = {}
+        self.readers: Dict[str, DataReader] = {}
+        self.monitors: Dict[str, LivelinessMonitor] = {}
+        #: topic name -> current EXCLUSIVE owner (None = no live owner).
+        self.owners: Dict[str, Optional[str]] = {}
+        self.matches_formed = 0
+        self.matches_rejected = 0
+        self.ownership_changes = 0
+        self.grants = 0
+        self.grant_denials = 0
+        self._udp: Optional[DatagramSocket] = None
+        if nic is not None:
+            self._udp = DatagramSocket(kernel, nic, port=BROKER_PORT,
+                                       on_receive=self._on_datagram)
+
+    @property
+    def host_name(self) -> str:
+        return self.nic.host.name if self.nic is not None else "broker"
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_writer(self, writer: DataWriter) -> None:
+        if writer.name in self.writers:
+            raise ValueError(f"duplicate writer name: {writer.name}")
+        writer.broker = self
+        self.writers[writer.name] = writer
+        if writer.qos.lease is not None:
+            self.monitors[writer.name] = LivelinessMonitor(
+                self.kernel, writer.name, writer.qos.lease,
+                on_lost=self._on_liveliness_change,
+                on_revived=self._on_liveliness_change)
+            writer.start_heartbeats()
+        for reader in self.readers.values():
+            self._try_match(writer, reader)
+        if writer.qos.ownership is OwnershipKind.EXCLUSIVE:
+            self._recompute_owner(writer.topic.name)
+
+    def register_reader(self, reader: DataReader) -> None:
+        if reader.name in self.readers:
+            raise ValueError(f"duplicate reader name: {reader.name}")
+        reader.broker = self
+        self.readers[reader.name] = reader
+        for writer in self.writers.values():
+            self._try_match(writer, reader)
+        if reader.qos.ownership is OwnershipKind.EXCLUSIVE:
+            reader.owner = self.owners.get(reader.topic.name)
+
+    def unregister_writer(self, writer: DataWriter) -> None:
+        """Graceful writer departure: matches deactivate, budget frees."""
+        self.writers.pop(writer.name, None)
+        writer.stop_heartbeats()
+        monitor = self.monitors.pop(writer.name, None)
+        if monitor is not None:
+            monitor.stop()
+        for match in writer.matches.values():
+            match.active = False
+            self._release_grant(match)
+        if writer.qos.ownership is OwnershipKind.EXCLUSIVE:
+            self._recompute_owner(writer.topic.name)
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def _try_match(self, writer: DataWriter, reader: DataReader) -> None:
+        if writer.topic.name != reader.topic.name:
+            return
+        result = rxo_check(writer.qos, reader.qos)
+        tracer = self.kernel.tracer
+        if not result.compatible:
+            self.matches_rejected += 1
+            if tracer is not None:
+                tracer.instant("pubsub", "match.rejected",
+                               writer=writer.name, reader=reader.name,
+                               topic=writer.topic.name,
+                               failed=",".join(result.failed))
+            return
+        match = Match(writer, reader, result)
+        self._maybe_reserve(match)
+        writer.matches[reader.name] = match
+        reader.matched[writer.name] = match
+        self.matches_formed += 1
+        if tracer is not None:
+            tracer.instant("pubsub", "match", writer=writer.name,
+                           reader=reader.name, topic=writer.topic.name,
+                           reliable=match.reliable, reserved=match.reserved)
+        reader.start_deadline_monitor()
+
+    def _maybe_reserve(self, match: Match) -> None:
+        """Reliable KEEP_ALL endpoints claim reserve budget up front."""
+        writer, reader = match.writer, match.reader
+        if (self.admission is None or not match.reliable
+                or writer.qos.history is not HistoryKind.KEEP_ALL
+                or writer.nic is None or reader.nic is None):
+            return
+        grant_id = f"pubsub:{writer.name}->{reader.name}"
+        decision = self.admission.request(
+            grant_id, src=writer.host_name, dst=reader.host_name,
+            rate_bps=RESERVE_HEADROOM * writer.topic.wire_rate_bps)
+        if decision.admitted:
+            match.reserved = True
+            match.grant_id = grant_id
+            match.dscp = Dscp.EF
+            self.grants += 1
+        else:
+            self.grant_denials += 1
+
+    def _release_grant(self, match: Match) -> None:
+        if match.grant_id is not None and self.admission is not None:
+            self.admission.revoke(match.grant_id)
+            match.grant_id = None
+            match.reserved = False
+
+    # ------------------------------------------------------------------
+    # Liveliness
+    # ------------------------------------------------------------------
+    def heartbeat(self, writer_name: str) -> None:
+        monitor = self.monitors.get(writer_name)
+        if monitor is not None:
+            monitor.heartbeat()
+
+    def writer_alive(self, writer_name: str) -> bool:
+        monitor = self.monitors.get(writer_name)
+        return monitor.alive if monitor is not None else True
+
+    def _on_datagram(self, payload: Any, packet: Any) -> None:
+        kind, name = payload
+        if kind == "hb":
+            self.heartbeat(name)
+
+    def _on_liveliness_change(self, monitor: LivelinessMonitor) -> None:
+        writer = self.writers.get(monitor.name)
+        if writer is not None and (
+                writer.qos.ownership is OwnershipKind.EXCLUSIVE):
+            self._recompute_owner(writer.topic.name)
+
+    # ------------------------------------------------------------------
+    # Ownership arbitration
+    # ------------------------------------------------------------------
+    def _recompute_owner(self, topic_name: str) -> None:
+        candidates = [
+            w for w in self.writers.values()
+            if w.topic.name == topic_name
+            and w.qos.ownership is OwnershipKind.EXCLUSIVE
+            and self.writer_alive(w.name)
+        ]
+        if candidates:
+            # Strongest wins; ties break to the smallest name so
+            # failover is deterministic at any worker count.
+            best = min(candidates, key=lambda w: (-w.qos.strength, w.name))
+            new_owner: Optional[str] = best.name
+        else:
+            new_owner = None
+        old_owner = self.owners.get(topic_name)
+        if new_owner == old_owner:
+            return
+        self.owners[topic_name] = new_owner
+        self.ownership_changes += 1
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.instant("pubsub", "ownership.failover", topic=topic_name,
+                           old=old_owner, new=new_owner)
+        for reader in self.readers.values():
+            if (reader.topic.name == topic_name
+                    and reader.qos.ownership is OwnershipKind.EXCLUSIVE):
+                reader.owner = new_owner
+
+    # ------------------------------------------------------------------
+    # Adaptation plumbing
+    # ------------------------------------------------------------------
+    def set_divisor(self, reader: DataReader, divisor: int) -> None:
+        """Set the send divisor on every writer matched to ``reader``."""
+        divisor = max(1, int(divisor))
+        for match in reader.matched.values():
+            match.divisor = divisor
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Quiesce timers so a bounded run winds down cleanly."""
+        for monitor in self.monitors.values():
+            monitor.stop()
+        for writer in self.writers.values():
+            writer.stop_heartbeats()
+        for reader in self.readers.values():
+            reader.stop_deadline_monitor()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Broker writers={len(self.writers)} "
+                f"readers={len(self.readers)} "
+                f"matches={self.matches_formed}>")

@@ -219,7 +219,7 @@ def test_reserve_ledger_catches_overcommitted_utilization():
 def test_rsvp_ledger_catches_oversubscribed_link():
     world = bare_world()
     iface = Bag(owner=Bag(name="router"), name="router->dst",
-                link=Bag(bandwidth_bps=1e6))
+                link=Bag(bandwidth_bps=1e6, nominal_bandwidth_bps=1e6))
     agent = Bag(utilization_bound=0.9, _reserved={iface: {"f:1->d:2": 2e6}})
     world.rsvp_agents = lambda: [agent]
     checker = ReserveLedgerChecker()
@@ -231,7 +231,7 @@ def test_rsvp_ledger_catches_oversubscribed_link():
 def test_rsvp_ledger_catches_non_positive_rate():
     world = bare_world()
     iface = Bag(owner=Bag(name="router"), name="router->dst",
-                link=Bag(bandwidth_bps=1e6))
+                link=Bag(bandwidth_bps=1e6, nominal_bandwidth_bps=1e6))
     agent = Bag(utilization_bound=0.9, _reserved={iface: {"f:1->d:2": 0.0}})
     world.rsvp_agents = lambda: [agent]
     checker = ReserveLedgerChecker()
@@ -453,7 +453,7 @@ def test_default_suite_has_every_monitor():
     assert names == {
         "time-monotonic", "qdisc-accounting", "token-bucket",
         "reserve-ledger", "packet-conservation", "contract",
-        "thread-state", "fluid-conservation", "routing",
+        "thread-state", "fluid-conservation", "routing", "pubsub",
     }
     assert len(suite.checkers) == len(names)
 

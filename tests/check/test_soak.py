@@ -11,6 +11,7 @@ import json
 import pytest
 
 from repro.net.queues import GuaranteedRateQueue
+from repro.pubsub.history import HistoryCache
 from repro.check import (
     generate_case,
     generate_cases,
@@ -19,7 +20,7 @@ from repro.check import (
     run_soak_case,
     shrink_case,
 )
-from repro.check.soak import ARMS
+from repro.check.soak import ARMS, PUBSUB_ARMS, PUBSUB_MIN_SUBSCRIBERS
 
 
 # ----------------------------------------------------------------------
@@ -32,15 +33,24 @@ def test_case_generation_is_pure_in_seed_and_index():
 
 
 def test_cases_are_json_able_and_well_formed():
-    for case in generate_cases(7, 8, duration=2.0, max_streams=4):
+    families = set()
+    for case in generate_cases(7, 16, duration=2.0, max_streams=4):
         assert case == json.loads(json.dumps(case))
-        assert case["arm"] in ARMS
-        assert 1 <= case["streams"] <= 4
+        families.add(case["family"])
+        if case["family"] == "capacity":
+            assert case["arm"] in ARMS
+            assert 1 <= case["streams"] <= 4
+        else:
+            assert case["family"] == "pubsub"
+            assert case["arm"] in PUBSUB_ARMS
+            assert case["subscribers"] >= PUBSUB_MIN_SUBSCRIBERS
         assert case["duration"] == 2.0
         for fault in case["faults"]:
             assert fault["kind"] in ("link_flap", "loss_burst",
                                      "link_degrade", "node_crash")
             assert fault["at"] >= 0.5
+    # Both scenario families appear under one root seed.
+    assert families == {"capacity", "pubsub"}
 
 
 def test_generate_cases_indexes_sequentially():
@@ -155,6 +165,66 @@ def test_soak_driver_reports_shrunk_failure_with_replay(monkeypatch):
     assert entry["replay"] == replay_command(entry["shrunk"])
     assert any("FAILED" in line for line in lines)
     assert any("replay with:" in line for line in lines)
+
+
+# ----------------------------------------------------------------------
+# The pub-sub family's canary: a re-introduced history leak
+# ----------------------------------------------------------------------
+def _pubsub_case(faults=(), subscribers=64):
+    """A fig 12 fan-out case in the soak dict shape."""
+    case = generate_case(5, 0, duration=2.0)
+    return {
+        "index": case["index"], "seed": case["seed"],
+        "family": "pubsub", "arm": "best-effort",
+        "subscribers": subscribers, "duration": 2.0,
+        "bottleneck_bps": 60e6, "faults": list(faults),
+    }
+
+
+def _reintroduce_history_leak(monkeypatch):
+    """Undo the history resource bound: caches grow without limit."""
+    def leaky_add(self, sample):
+        self._samples.append(sample)
+        self.accepted += 1
+        held = len(self._samples)
+        if held > self.max_held:
+            self.max_held = held
+        return True
+
+    monkeypatch.setattr(HistoryCache, "add", leaky_add)
+
+
+def test_reintroduced_history_leak_is_caught(monkeypatch):
+    case = _pubsub_case()
+    assert run_soak_case(case)["ok"]  # healthy code: clean
+    _reintroduce_history_leak(monkeypatch)
+    verdict = run_soak_case(case)
+    assert not verdict["ok"]
+    assert verdict["failure"] == "invariant"
+    assert verdict["checker"] == "pubsub"
+    assert "exceeded its declared depth" in verdict["message"]
+
+
+def test_shrink_reduces_the_pubsub_case(monkeypatch):
+    _reintroduce_history_leak(monkeypatch)
+    case = _pubsub_case(subscribers=128, faults=[
+        {"kind": "link_flap", "link": ["pub0", "router"],
+         "at": 0.6, "duration": 0.4},
+    ])
+    shrunk, spent = shrink_case(case, budget=12)
+    assert 0 < spent <= 12
+    assert shrunk["faults"] == []  # irrelevant to the leak: shed
+    assert PUBSUB_MIN_SUBSCRIBERS <= shrunk["subscribers"] < 128
+    assert not run_soak_case(shrunk)["ok"]  # still a reproducer
+
+
+def test_replayed_pubsub_case_reproduces_the_verdict(monkeypatch):
+    _reintroduce_history_leak(monkeypatch)
+    case = _pubsub_case()
+    payload = replay_command(case).split("--replay ", 1)[1].strip("'")
+    verdict = run_soak_case(json.loads(payload))
+    assert not verdict["ok"]
+    assert verdict["checker"] == "pubsub"
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,134 @@
+"""Liveliness lease monitoring, including the same-tick expiry edge.
+
+The load-bearing regression: a heartbeat landing at *exactly* the
+simulated instant the lease expires must not flap the writer.  The
+lease timer was armed a whole lease ago, so kernel tie-breaking runs
+it *before* the same-tick heartbeat; a naive monitor declares the
+writer dead, revives it one event later, and later declares it dead
+again — two lost transitions for one actual death.  The two-phase
+monitor defers the verdict behind a zero-delay confirmation event and
+stays clean.  ``test_naive_monitor_flaps`` re-introduces the naive
+verdict and proves the scenario still distinguishes the two.
+"""
+
+import pytest
+
+from repro.pubsub.liveliness import LivelinessMonitor
+from repro.sim import Kernel, TickCoalescer
+
+LEASE = 1.0
+
+
+def test_quiet_writer_gets_exactly_one_lost_transition():
+    kernel = Kernel()
+    monitor = LivelinessMonitor(kernel, "w", LEASE)
+    kernel.run(until=10 * LEASE)
+    assert monitor.transitions == [("lost", LEASE)]
+    assert not monitor.alive
+    assert monitor.lost_count == 1
+
+
+def test_heartbeats_keep_the_writer_alive():
+    kernel = Kernel()
+    monitor = LivelinessMonitor(kernel, "w", LEASE)
+    for k in range(1, 20):
+        kernel.schedule_at(k * LEASE / 3.0, monitor.heartbeat)
+    kernel.run(until=5 * LEASE)
+    assert monitor.alive
+    assert monitor.transitions == []
+
+
+def test_same_tick_final_heartbeat_does_not_flap():
+    """A heartbeat at exactly ``last_heard + lease`` wins the tie.
+
+    The expiry timer (armed at t=0 for t=LEASE) fires before the
+    heartbeat scheduled later for the same instant; the deferred
+    confirmation must see the heartbeat and keep the writer alive —
+    then count exactly one lost transition one lease after the *real*
+    final heartbeat.
+    """
+    kernel = Kernel()
+    monitor = LivelinessMonitor(kernel, "w", LEASE)
+    kernel.schedule_at(LEASE, monitor.heartbeat)  # ties with expiry
+    kernel.run(until=5 * LEASE)
+    assert monitor.transitions == [("lost", 2 * LEASE)]
+    assert monitor.heartbeats == 1
+
+
+def test_naive_monitor_flaps(monkeypatch):
+    """Re-introduce the one-phase verdict: the same scenario flaps.
+
+    This is the canary for the two-phase fix — if the deferred
+    confirmation ever regresses to deciding inline, this test's
+    healthy twin above starts failing while this one documents the
+    exact failure shape (a spurious lost+revived pair).
+    """
+    def naive_expiry(self):
+        self._expiry = None
+        if self._stopped or not self.alive:
+            return
+        deadline = self.last_heard + self.lease
+        if self.kernel.now < deadline:
+            self._arm(deadline)
+            return
+        self._confirm_expiry(self.last_heard)  # verdict inline: no defer
+
+    monkeypatch.setattr(LivelinessMonitor, "_on_expiry", naive_expiry)
+    kernel = Kernel()
+    monitor = LivelinessMonitor(kernel, "w", LEASE)
+    kernel.schedule_at(LEASE, monitor.heartbeat)
+    kernel.run(until=5 * LEASE)
+    # The flap: dead at t=1.0, revived by the same-tick heartbeat,
+    # dead again a lease later — two lost transitions for one death.
+    assert monitor.lost_count == 2
+    assert [kind for kind, _ in monitor.transitions] == [
+        "lost", "revived", "lost"]
+
+
+def test_coalesced_heartbeats_share_the_expiry_tick():
+    """Heartbeats delivered through a TickCoalescer still win the tie.
+
+    With a coalescing timer wheel the heartbeat's arrival is quantized
+    *up* to a grid point, which is exactly how it ends up sharing the
+    expiry's timestamp in production; the monitor must stay calm
+    through every such collision.
+    """
+    kernel = Kernel()
+    grid = TickCoalescer(kernel, quantum=LEASE / 4.0)
+    monitor = LivelinessMonitor(kernel, "w", LEASE)
+    # Each heartbeat is asked for slightly before a grid point and
+    # lands exactly on it; the 4th one collides with the expiry at
+    # t=LEASE precisely.
+    for k in range(1, 13):
+        grid.call_at(k * LEASE / 4.0 - 1e-9, monitor.heartbeat)
+    kernel.run(until=6 * LEASE)
+    assert grid.ticks > 0
+    # Alive through every collision, one clean death a lease after the
+    # final (coalesced) heartbeat at t=3.0.
+    assert monitor.transitions == [("lost", 3 * LEASE + LEASE)]
+
+
+def test_revival_and_second_death_alternate():
+    kernel = Kernel()
+    monitor = LivelinessMonitor(kernel, "w", LEASE)
+    kernel.schedule_at(3.5 * LEASE, monitor.heartbeat)  # revive once
+    kernel.run(until=10 * LEASE)
+    assert [kind for kind, _ in monitor.transitions] == [
+        "lost", "revived", "lost"]
+    assert monitor.transitions[1][1] == pytest.approx(3.5 * LEASE)
+    assert monitor.transitions[2][1] == pytest.approx(4.5 * LEASE)
+
+
+def test_stop_quiesces_pending_timers():
+    kernel = Kernel()
+    monitor = LivelinessMonitor(kernel, "w", LEASE)
+    monitor.stop()
+    kernel.run(until=5 * LEASE)
+    assert monitor.transitions == []
+    assert monitor.alive  # stopped, never declared dead
+
+
+def test_lease_must_be_positive():
+    kernel = Kernel()
+    with pytest.raises(ValueError):
+        LivelinessMonitor(kernel, "w", 0.0)

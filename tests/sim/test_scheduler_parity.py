@@ -36,6 +36,7 @@ from repro.experiments.scenario_registry import (
     fault_arm_params,
     network_arm_params,
     priority_arm_params,
+    pubsub_arm_params,
     route_arm_params,
     scale_arm_params,
 )
@@ -46,6 +47,7 @@ from repro.experiments.fault_exp import FaultArm
 from repro.experiments.route_exp import RouteArm, route_arms
 from repro.scale.capacity_exp import CapacityArm
 from repro.scale.fig10 import ScaleArm
+from repro.pubsub.fig12 import PubSubArm, pubsub_arms
 from repro.check.soak import generate_case
 from repro.sim import Kernel, TickCoalescer
 from repro.sim.eventq import SCHEDULER_BACKENDS, SCHEDULER_ENV
@@ -88,6 +90,11 @@ def _parity_specs():
             {"arm": route_arm_params(
                 RouteArm("dynamic-resignal", True, True)),
              "routers": 12, "duration": 12.0, "fail_at": 3.0}, seed=1),
+        "pubsub": RunSpec(
+            "pubsub",
+            {"arm": pubsub_arm_params(
+                PubSubArm("ownership", ownership=True, faults=True)),
+             "subscribers": 64, "duration": 4.0}, seed=1),
         "soak_case": RunSpec(
             "soak_case",
             {"case": generate_case(1, 0, duration=3.0, max_streams=4)}),
@@ -228,6 +235,33 @@ def test_worker_fanout_parity(monkeypatch, jobs, tmp_path):
     results = runner.run(specs)
     blob = pickle.dumps([r.payload for r in results])
     marker = tmp_path.parent / "parity_jobs_reference.pkl"
+    if marker.exists():
+        assert blob == marker.read_bytes(), (
+            f"jobs={jobs} diverged from the earlier worker count")
+    else:
+        marker.write_bytes(blob)
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_worker_fanout_parity_pubsub(monkeypatch, jobs, tmp_path):
+    """Fig 12's pub-sub arms survive worker fan-out unchanged.
+
+    The pub-sub family exercises yet another scheduler surface —
+    liveliness leases racing heartbeat datagrams, the two-phase
+    same-tick expiry confirmation, deadline monitors and pacing
+    contracts all keyed to identical timestamps — so it gets its own
+    jobs=1-vs-4 pin.  Payloads are pickled one by one (see the route
+    pin above for why)."""
+    specs = [
+        RunSpec("pubsub",
+                {"arm": pubsub_arm_params(arm), "subscribers": 64,
+                 "duration": 4.0}, seed=1)
+        for arm in pubsub_arms()
+    ]
+    runner = ExperimentRunner(jobs=jobs, cache=False)
+    results = runner.run(specs)
+    blob = pickle.dumps([pickle.dumps(r.payload) for r in results])
+    marker = tmp_path.parent / "parity_jobs_pubsub_reference.pkl"
     if marker.exists():
         assert blob == marker.read_bytes(), (
             f"jobs={jobs} diverged from the earlier worker count")
