@@ -1,6 +1,6 @@
 """Figure 12: declarative-QoS pub-sub fan-out gauntlet.
 
-Four arms publish the same K-writer x 8-topic workload through
+Seven arms publish the same K-writer x 8-topic workload through
 ``repro.pubsub`` while the subscriber population sweeps across the
 fan-out bottleneck (128 fits; 1024 and 2048 are ~5x and ~10x
 oversubscribed, with the bulk of the population carried as fluid
@@ -16,7 +16,14 @@ aggregates).  Headline separation:
   contracted floor that best effort cannot hold;
 * **ownership** failover detects a crashed primary by liveliness-lease
   expiry and re-arbitrates to the strongest live backup within one
-  lease period at nominal load.
+  lease period at nominal load;
+* **durable** (TRANSIENT_LOCAL) writers replay their history caches to
+  a late-joiner wave that registers mid-run, duplicate-free;
+* **filtered** readers declare complementary content filters the
+  writers evaluate before send — half the stream never hits the wire;
+* **partition** runs the ownership workload through a broker-isolating
+  link cut plus a primary crash: the readers' partition elects the
+  strongest *reachable* writer and everything re-arbitrates on heal.
 """
 
 from collections import defaultdict
@@ -24,6 +31,7 @@ from collections import defaultdict
 from repro.experiments.scenario_registry import figure_specs
 from repro.pubsub.fig12 import (
     ADAPT_LADDER,
+    LATE_JOIN_FRACTION,
     LEASE,
     MEASURED_PER_TOPIC,
     TOPIC_RATE_HZ,
@@ -60,11 +68,14 @@ def test_fig12_pubsub(benchmark):
     assert counts == [128, 1024, 2048]
 
     # Discovery formed the full measured mesh in every arm (the
-    # ownership arm runs a backup writer per topic, so double).
+    # ownership arms run a backup writer per topic, so double; the
+    # durable arm's late-joiner wave adds one reader per topic).
     for subs in counts:
-        for arm in ("best-effort", "reliable", "adaptive"):
+        for arm in ("best-effort", "reliable", "adaptive", "filtered"):
             assert at(arm, subs).matches_formed == MEASURED
-        assert at("ownership", subs).matches_formed == 2 * MEASURED
+        for arm in ("ownership", "partition"):
+            assert at(arm, subs).matches_formed == 2 * MEASURED
+        assert at("durable", subs).matches_formed == MEASURED + TOPICS
 
     # --- reliable: exactly-once at every population.  RELIABLE +
     # KEEP_ALL claimed reserve budget for all 16 matches, so delivery
@@ -131,6 +142,63 @@ def test_fig12_pubsub(benchmark):
     # failover still completes within two leases.
     for subs in (1024, 2048):
         assert at("ownership", subs).failover_gap <= 2 * LEASE
+
+    # --- durability: the late-joiner wave registers at 45% of the run
+    # and catches up from the writers' TRANSIENT_LOCAL caches.
+    for subs in counts:
+        point = at("durable", subs)
+        assert point.grants == MEASURED + TOPICS  # late matches reserve too
+        late = point.late_rows
+        assert len(late) == TOPICS
+        # Each late reader replays the full pre-join backlog...
+        backlog = LATE_JOIN_FRACTION * point.duration * TOPIC_RATE_HZ
+        assert all(row.replayed >= backlog - 3 for row in late)
+        assert point.replays == sum(row.replayed for row in late)
+        # ...and catch-up never double-delivers: replay + live traffic
+        # stays duplicate-free at every population.
+        assert all(row.duplicates == 0 for row in point.reader_rows)
+    # At nominal load the catch-up completes inside the horizon: every
+    # late reader received 100% of its in-depth history plus the live
+    # stream, exactly once.
+    nominal = at("durable", 128)
+    assert nominal.exactly_once
+    assert all(row.delivered == row.sent_to for row in nominal.late_rows)
+    assert nominal.delivery_fraction >= 0.999
+
+    # --- content filters: complementary seq%2 filters split each
+    # topic between its two measured readers writer-side.  Rejected
+    # samples never hit the wire, so each reader runs at half rate and
+    # the (fault-free, reserved) arm stays exactly-once throughout.
+    for subs in counts:
+        point = at("filtered", subs)
+        assert point.grants == MEASURED
+        assert point.sends_filtered > 0
+        assert point.exactly_once
+        assert point.delivery_fraction >= 0.999
+        assert abs(point.mean_fps - TOPIC_RATE_HZ / 2.0) <= 1.0
+        assert point.min_fps >= TOPIC_RATE_HZ / 2.0 - 1.0
+
+    # --- partition-aware ownership: cutting the broker's uplink used
+    # to stall arbitration entirely; now the readers' partition elects
+    # the strongest *reachable* writer when the primary's host crashes
+    # inside the cut, and the heal re-arbitrates everything back.
+    for subs in counts:
+        point = at("partition", subs)
+        # The partition elected owners without the broker's home view
+        # (the crashed primaries' topics moved to reachable backups).
+        assert point.partition_elections >= 2
+        assert point.ownership_changes > TOPICS
+        # The broker-side lease view lost (and revived) every writer
+        # during the cut — heartbeats could not cross the partition.
+        assert point.liveliness_lost >= 2 * TOPICS
+        assert point.liveliness_revived >= 2 * TOPICS
+        # EXCLUSIVE filtering still halves delivery (two writers per
+        # topic publish; readers accept exactly one stream).
+        assert point.delivery_fraction < 0.6
+        # The stall fix's headline: no measured reader starves, and
+        # re-arbitration completes within two leases of any handoff.
+        assert point.min_fps > FLOOR_FPS
+        assert point.failover_gap <= 2 * LEASE
 
     # The hybrid model's perf claim: 16x the population costs nowhere
     # near 16x the events (the tail is fluid, not packets).

@@ -943,7 +943,10 @@ class PubSubChecker(InvariantChecker):
       expiry fix's invariant, kept honest forever);
     * an ``ownership.failover`` record's new owner must be a live
       registered writer of that topic (or ``None`` when every
-      candidate is dead).
+      candidate is dead); an owner elected for a partition the broker
+      cannot reach must instead be a registered writer whose host sits
+      inside that partition (lease state is unknowable across the
+      cut).
 
     Teardown (when a :class:`~repro.pubsub.broker.Broker` is
     registered on the world):
@@ -958,10 +961,15 @@ class PubSubChecker(InvariantChecker):
     * **no unmatched delivery** — every writer a reader delivered
       from appears in its match table, and the reader's arrival
       counters close exactly (received = delivered + duplicates +
-      filtered + unmatched);
+      stale + downsampled + filtered + unmatched);
+    * **dedup bound** — once heartbeat trims are flowing, a reader's
+      per-writer dedup tail stays O(window) (the state-bounding fix's
+      law: no more unbounded seq sets);
     * **ownership** — the recorded owner of every topic is the
       strongest live EXCLUSIVE writer (name-ordered on ties), and
-      every EXCLUSIVE reader agrees with the broker.
+      every EXCLUSIVE reader agrees with the owner elected for *its*
+      reachability partition (which is the broker's view whenever the
+      reader can reach the broker).
     """
 
     name = "pubsub"
@@ -993,11 +1001,26 @@ class PubSubChecker(InvariantChecker):
             if broker is None or new is None:
                 return
             writer = broker.writers.get(new)
+            ok = (writer is not None
+                  and writer.topic.name == fields.get("topic"))
+            if ok:
+                parts = (broker.partitions()
+                         if hasattr(broker, "partitions") else None)
+                pid = fields.get("partition")
+                home = (parts.get(broker.host_name)
+                        if parts is not None else None)
+                if parts is not None and pid is not None and pid != home:
+                    # Elected across a partition cut: the broker's
+                    # lease monitors are not authoritative there — the
+                    # writer's host must be reachable in that
+                    # partition instead.
+                    ok = parts.get(writer.host_name) == pid
+                else:
+                    ok = broker.writer_alive(new)
             self.require(
-                writer is not None
-                and writer.topic.name == fields.get("topic")
-                and broker.writer_alive(new),
-                "ownership handed to a dead or unknown writer",
+                ok,
+                "ownership handed to a dead, unknown or unreachable "
+                "writer",
                 topic=fields.get("topic"), new=new,
             )
 
@@ -1021,7 +1044,8 @@ class PubSubChecker(InvariantChecker):
                 reader=reader.name, duplicates=reader.duplicates,
             )
             delivered_per_writer = {
-                writer: len(seqs) for writer, seqs in reader._seen.items()
+                writer: ledger.delivered
+                for writer, ledger in reader._seen.items()
             }
             for writer_name, count in delivered_per_writer.items():
                 match = reader.matched.get(writer_name)
@@ -1039,6 +1063,15 @@ class PubSubChecker(InvariantChecker):
                         reader=reader.name, writer=writer_name,
                         delivered=count, sent=match.sent,
                     )
+            for writer_name, ledger in reader._seen.items():
+                if ledger.trims > 0:
+                    from repro.pubsub.dedup import DEDUP_WINDOW
+                    self.require(
+                        len(ledger) <= 2 * DEDUP_WINDOW,
+                        "dedup tail grew past the trimmed window bound",
+                        reader=reader.name, writer=writer_name,
+                        tail=len(ledger), window=DEDUP_WINDOW,
+                    )
             self.require(
                 reader.delivered == sum(delivered_per_writer.values()),
                 "delivered count drifted from the per-writer ledgers",
@@ -1047,11 +1080,16 @@ class PubSubChecker(InvariantChecker):
             self.require(
                 reader.samples_received == (
                     reader.delivered + reader.duplicates
+                    + reader.stale_drops + reader.downsampled
                     + reader.ownership_filtered + reader.from_unmatched),
                 "reader arrival accounting does not close",
                 reader=reader.name, received=reader.samples_received,
             )
 
+        parts = (broker.partitions()
+                 if hasattr(broker, "partitions") else None)
+        home = (parts.get(broker.host_name)
+                if parts is not None else None)
         for topic_name, owner in broker.owners.items():
             candidates = [
                 w for w in broker.writers.values()
@@ -1068,14 +1106,27 @@ class PubSubChecker(InvariantChecker):
                 topic=topic_name, owner=owner, expected=expected,
             )
             for reader in broker.readers.values():
-                if (reader.topic.name == topic_name
-                        and reader.qos.ownership is OwnershipKind.EXCLUSIVE):
-                    self.require(
-                        reader.owner == owner,
-                        "reader's owner view drifted from the broker",
-                        reader=reader.name, reader_owner=reader.owner,
-                        broker_owner=owner,
-                    )
+                if (reader.topic.name != topic_name
+                        or reader.qos.ownership
+                        is not OwnershipKind.EXCLUSIVE):
+                    continue
+                pid = (parts.get(reader.host_name)
+                       if parts is not None else None)
+                if pid == home:
+                    expected_view = owner
+                else:
+                    # The reader is currently cut off from the broker:
+                    # it follows the owner elected for its own
+                    # partition, not the broker's lease-driven view.
+                    expected_view = broker.partition_owners.get(
+                        (topic_name, pid), owner)
+                self.require(
+                    reader.owner == expected_view,
+                    "reader's owner view drifted from its partition's "
+                    "election",
+                    reader=reader.name, reader_owner=reader.owner,
+                    expected=expected_view,
+                )
 
 
 def default_suite() -> CheckSuite:

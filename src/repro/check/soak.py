@@ -43,7 +43,8 @@ FAULT_LINKS = (("src", "router"), ("load", "router"), ("router", "dst"))
 _FAULT_KINDS = ("link_flap", "loss_burst", "link_degrade", "node_crash")
 
 #: The fig 12 QoS arms, all soak-eligible under the pub-sub family.
-PUBSUB_ARMS = ("best-effort", "reliable", "adaptive", "ownership")
+PUBSUB_ARMS = ("best-effort", "reliable", "adaptive", "ownership",
+               "durable", "filtered", "partition")
 #: Fan-out bottlenecks to sample (under/at/over the fig 12 nominal).
 PUBSUB_BOTTLENECKS_BPS = (30e6, 60e6, 120e6)
 #: Pub-sub topology targets for random faults.

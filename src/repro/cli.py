@@ -676,13 +676,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = add("pubsub", _cmd_pubsub,
             "fig 12 declarative-QoS pub-sub fan-out gauntlet "
-            "(K publishers x M subscribers x four arms)", 8.0)
+            "(K publishers x M subscribers x seven arms)", 8.0)
     p.add_argument("--subscribers", default="128,1024,2048",
                    help="comma-separated total-subscriber counts "
                         "(default 128,1024,2048)")
     p.add_argument("--arm", default=None,
                    help="run a single arm (best-effort, reliable, "
-                        "adaptive, ownership)")
+                        "adaptive, ownership, durable, filtered, "
+                        "partition)")
 
     p = sub.add_parser(
         "soak",

@@ -151,7 +151,8 @@ def _scale(arm: Dict[str, Any], seed: int = 1, **kwargs: Any):
 def pubsub_arm_params(arm: PubSubArm) -> Dict[str, Any]:
     return {"name": arm.name, "reliable": arm.reliable,
             "adaptive": arm.adaptive, "ownership": arm.ownership,
-            "faults": arm.faults}
+            "faults": arm.faults, "durable": arm.durable,
+            "filtered": arm.filtered, "partition": arm.partition}
 
 
 @scenario("pubsub")

@@ -60,11 +60,13 @@ from repro.net.queues import (
 )
 from repro.net.router import Router
 from repro.net.routing import (
+    SEQ_MODULUS,
     LinkStateRouting,
     Lsa,
     ReservationResignaler,
     install_spf_routes,
     predict_path,
+    seq_newer,
     spf_first_hops,
 )
 from repro.net.topology import (
@@ -103,6 +105,7 @@ __all__ = [
     "ReservationResignaler",
     "Router",
     "RsvpAgent",
+    "SEQ_MODULUS",
     "StreamConnection",
     "StreamListener",
     "TokenBucket",
@@ -111,6 +114,7 @@ __all__ = [
     "generate_topology",
     "install_spf_routes",
     "predict_path",
+    "seq_newer",
     "spf_first_hops",
     "wan_topology",
     "waxman_topology",

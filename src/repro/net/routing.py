@@ -59,10 +59,28 @@ __all__ = [
     "install_spf_routes",
     "predict_path",
     "spf_first_hops",
+    "seq_newer",
+    "SEQ_MODULUS",
 ]
 
 #: Per-hop LSA processing latency added on top of the link delay.
 LSA_PROC_DELAY = 1e-4
+
+#: LSA sequence numbers live in a bounded space (like a 16-bit OSPF-ish
+#: counter) so a long-lived network must compare them wraparound-safely.
+SEQ_MODULUS = 1 << 16
+
+
+def seq_newer(a: int, b: int) -> bool:
+    """Is seq ``a`` fresher than ``b`` under serial-number arithmetic?
+
+    RFC 1982-style: ``a`` is newer when it sits less than half the
+    sequence space ahead of ``b`` (so ``0`` is newer than ``65535``).
+    Equal seqs are never "newer".
+    """
+    if a == b:
+        return False
+    return ((a - b) % SEQ_MODULUS) < SEQ_MODULUS // 2
 
 
 class Lsa:
@@ -139,13 +157,16 @@ def spf_first_hops(lsdb: Dict[str, Lsa], origin: str
 class _Node:
     """Per-router protocol state."""
 
-    __slots__ = ("router", "lsdb", "seq", "spf_pending")
+    __slots__ = ("router", "lsdb", "seq", "spf_pending", "installed_at")
 
     def __init__(self, router: Router) -> None:
         self.router = router
         self.lsdb: Dict[str, Lsa] = {}
         self.seq = 0
         self.spf_pending = False
+        #: origin -> kernel time its LSA was (re)installed, for max-age
+        #: expiry.  Only populated when aging is enabled.
+        self.installed_at: Dict[str, float] = {}
 
 
 class LinkStateRouting:
@@ -159,17 +180,36 @@ class LinkStateRouting:
     """
 
     def __init__(self, kernel: Kernel, network: Network,
-                 spf_delay: float = 0.05) -> None:
+                 spf_delay: float = 0.05,
+                 max_age: Optional[float] = None,
+                 refresh_interval: Optional[float] = None) -> None:
         self.kernel = kernel
         self.network = network
         self.spf_delay = float(spf_delay)
+        #: Opt-in LSA aging: a foreign LSA not refreshed for this long
+        #: is withdrawn from the LSDB (so a long-dead router's
+        #: adjacencies cannot pin routes forever).  ``None`` (the
+        #: default) disables both aging and refresh — existing
+        #: experiments are event-for-event unchanged.
+        self.max_age = None if max_age is None else float(max_age)
+        if refresh_interval is None and self.max_age is not None:
+            refresh_interval = self.max_age / 3.0
+        self.refresh_interval = (None if refresh_interval is None
+                                 else float(refresh_interval))
+        if (self.max_age is not None
+                and self.refresh_interval >= self.max_age):
+            raise ValueError("refresh_interval must be < max_age")
         self.nodes: Dict[str, _Node] = {}
         self._listeners: List[Callable[[Router], None]] = []
         self._started = False
+        self._refresh_event = None
+        self._age_event = None
         #: Observability counters.
         self.spf_runs = 0
         self.lsas_originated = 0
         self.lsas_flooded = 0
+        self.lsas_refreshed = 0
+        self.lsas_expired = 0
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -187,7 +227,24 @@ class LinkStateRouting:
             seed[name] = self._build_lsa(name)
         for name, node in sorted(self.nodes.items()):
             node.lsdb = dict(seed)
+            if self.max_age is not None:
+                now = self.kernel.now
+                node.installed_at = {origin: now for origin in seed}
             self._run_spf(node, notify=False)
+        if self.max_age is not None:
+            self._refresh_event = self.kernel.schedule(
+                self.refresh_interval, self._refresh_tick)
+            self._age_event = self.kernel.schedule(
+                self.max_age / 4.0, self._age_tick)
+
+    def stop(self) -> None:
+        """Cancel the aging/refresh timers (bounded-run teardown)."""
+        if self._refresh_event is not None:
+            self._refresh_event.cancel()
+            self._refresh_event = None
+        if self._age_event is not None:
+            self._age_event.cancel()
+            self._age_event = None
 
     def add_convergence_listener(
             self, callback: Callable[[Router], None]) -> None:
@@ -218,7 +275,7 @@ class LinkStateRouting:
 
     def _originate(self, name: str) -> None:
         node = self.nodes[name]
-        node.seq += 1
+        node.seq = (node.seq + 1) % SEQ_MODULUS
         lsa = self._build_lsa(name)
         self.lsas_originated += 1
         tracer = self.kernel.tracer
@@ -230,9 +287,11 @@ class LinkStateRouting:
     def _accept(self, node: _Node, lsa: Lsa,
                 learned_from: Optional[str]) -> None:
         current = node.lsdb.get(lsa.origin)
-        if current is not None and current.seq >= lsa.seq:
+        if current is not None and not seq_newer(lsa.seq, current.seq):
             return
         node.lsdb[lsa.origin] = lsa
+        if self.max_age is not None:
+            node.installed_at[lsa.origin] = self.kernel.now
         self._schedule_spf(node)
         # Re-flood to every up router neighbor except the one the LSA
         # came from (split horizon).
@@ -254,6 +313,37 @@ class LinkStateRouting:
             tracer.instant("net", "lsa.flood", origin=lsa.origin, seq=lsa.seq,
                            frm=from_name, to=to_name)
         self._accept(self.nodes[to_name], lsa, learned_from=from_name)
+
+    # ------------------------------------------------------------------
+    # Aging / refresh (opt-in via max_age)
+    # ------------------------------------------------------------------
+    def _refresh_tick(self) -> None:
+        """Every live router re-originates, resetting its age everywhere."""
+        for name in sorted(self.nodes):
+            self.lsas_refreshed += 1
+            self._originate(name)
+        self._refresh_event = self.kernel.schedule(
+            self.refresh_interval, self._refresh_tick)
+
+    def _age_tick(self) -> None:
+        """Withdraw foreign LSAs that went a full max-age unrefreshed."""
+        now = self.kernel.now
+        horizon = self.max_age * (1.0 + 1e-9)
+        for name, node in sorted(self.nodes.items()):
+            expired = [origin for origin, at in node.installed_at.items()
+                       if origin != name and now - at > horizon]
+            for origin in expired:
+                node.lsdb.pop(origin, None)
+                node.installed_at.pop(origin, None)
+                self.lsas_expired += 1
+                tracer = self.kernel.tracer
+                if tracer is not None:
+                    tracer.instant("net", "lsa.expire", router=name,
+                                   origin=origin)
+            if expired:
+                self._schedule_spf(node)
+        self._age_event = self.kernel.schedule(
+            self.max_age / 4.0, self._age_tick)
 
     # ------------------------------------------------------------------
     # SPF

@@ -11,7 +11,11 @@ simulation stack:
 * :mod:`repro.pubsub.matching` — pure, table-driven RxO
   (offered-vs-requested) compatibility matching;
 * :mod:`repro.pubsub.history` — KEEP_LAST ring / resource-bounded
-  KEEP_ALL sample caches;
+  KEEP_ALL sample caches (also the TRANSIENT_LOCAL writer cache);
+* :mod:`repro.pubsub.filters` — content-filtered topics (a small safe
+  expression evaluator run writer-side before send);
+* :mod:`repro.pubsub.dedup` — bounded per-writer dedup ledgers
+  (low-watermark + sparse tail, trimmed by heartbeat piggybacks);
 * :mod:`repro.pubsub.liveliness` — lease monitoring with writer-death
   detection (two-phase expiry, so a heartbeat landing in the same
   kernel tick as the lease edge cannot flap the liveliness state);
@@ -25,6 +29,7 @@ simulation stack:
 """
 
 from repro.pubsub.policies import (
+    Durability,
     HistoryKind,
     OwnershipKind,
     QosPolicy,
@@ -32,6 +37,8 @@ from repro.pubsub.policies import (
 )
 from repro.pubsub.matching import MatchResult, rxo_check
 from repro.pubsub.history import HistoryCache
+from repro.pubsub.filters import ContentFilter
+from repro.pubsub.dedup import DedupLedger, DEDUP_WINDOW
 from repro.pubsub.liveliness import LivelinessMonitor
 from repro.pubsub.core import DataReader, DataWriter, Sample, Topic
 from repro.pubsub.broker import Broker
@@ -40,7 +47,11 @@ __all__ = [
     "Reliability",
     "HistoryKind",
     "OwnershipKind",
+    "Durability",
     "QosPolicy",
+    "ContentFilter",
+    "DedupLedger",
+    "DEDUP_WINDOW",
     "MatchResult",
     "rxo_check",
     "HistoryCache",

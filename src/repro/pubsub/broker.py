@@ -24,21 +24,39 @@ The broker is the control plane of :mod:`repro.pubsub`:
   (topic wire rate, writer host → reader host).  Granted matches are
   promoted to EF; denied ones still form but stay best-effort-class
   on the wire.
+* **durability** — a TRANSIENT_LOCAL reader that matches a durable
+  writer gets the writer's cached history replayed at match time
+  (late-joiner catch-up), traced as ``pubsub durability.replay``.
+* **partitions** — given a ``network``, the broker watches link state
+  and arbitrates EXCLUSIVE ownership *per reachability partition*:
+  readers cut off from the broker elect the strongest writer whose
+  host is reachable inside their own partition (instead of freezing
+  on the broker's last word), and everything re-arbitrates
+  deterministically when the partition heals.  Within the broker's
+  own partition arbitration stays purely lease-driven.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.net.diffserv import Dscp
 from repro.net.transport import DatagramSocket
 from repro.pubsub.core import BROKER_PORT, DataReader, DataWriter, Match
+from repro.pubsub.dedup import DEDUP_WINDOW
 from repro.pubsub.liveliness import LivelinessMonitor
 from repro.pubsub.matching import rxo_check
-from repro.pubsub.policies import HistoryKind, OwnershipKind
+from repro.pubsub.policies import Durability, HistoryKind, OwnershipKind
 from repro.sim.kernel import Kernel
 
-__all__ = ["Broker", "RESERVE_HEADROOM"]
+__all__ = ["Broker", "RESERVE_HEADROOM", "DIVISOR_GRANT_DELAY"]
+
+#: Control-plane latency between a reader's divisor request and the
+#: broker's grant reaching the writers (networked mode only; local
+#: endpoints grant inline so unit tests stay synchronous).  The reader
+#: paces itself immediately — this delay is exactly the gap the
+#: reader-side downsampling bugfix covers.
+DIVISOR_GRANT_DELAY = 0.05
 
 #: Reserved matches book this multiple of the topic's nominal wire
 #: rate — slack for retransmissions and congestion-window bursts, the
@@ -58,24 +76,45 @@ class Broker:
         kernel: Kernel,
         nic: Optional[Any] = None,
         admission: Optional[Any] = None,
+        network: Optional[Any] = None,
     ) -> None:
         self.kernel = kernel
         self.nic = nic
         self.admission = admission
+        #: With a Network the broker watches link state and runs
+        #: per-partition ownership arbitration.  Links must exist
+        #: before the broker is constructed (fig12 builds the topology
+        #: first); links added later are not watched.
+        self.network = network
         self.writers: Dict[str, DataWriter] = {}
         self.readers: Dict[str, DataReader] = {}
         self.monitors: Dict[str, LivelinessMonitor] = {}
-        #: topic name -> current EXCLUSIVE owner (None = no live owner).
+        #: topic name -> current EXCLUSIVE owner *in the broker's own
+        #: partition* (None = no live owner).
         self.owners: Dict[str, Optional[str]] = {}
+        #: (topic, partition id) -> elected owner for readers in that
+        #: partition.  Superset of :attr:`owners` (the broker's own
+        #: partition appears here too).
+        self.partition_owners: Dict[Tuple[str, Optional[str]],
+                                    Optional[str]] = {}
         self.matches_formed = 0
         self.matches_rejected = 0
         self.ownership_changes = 0
+        #: Owner changes decided for partitions *other than* the
+        #: broker's own (the partition-stall fix firing).
+        self.partition_elections = 0
         self.grants = 0
         self.grant_denials = 0
+        self.divisor_grants = 0
+        self.replays = 0
+        self._rearb_pending = False
         self._udp: Optional[DatagramSocket] = None
         if nic is not None:
             self._udp = DatagramSocket(kernel, nic, port=BROKER_PORT,
                                        on_receive=self._on_datagram)
+        if network is not None:
+            for link in network.links:
+                link.add_listener(self._on_link_state)
 
     @property
     def host_name(self) -> str:
@@ -108,7 +147,14 @@ class Broker:
         for writer in self.writers.values():
             self._try_match(writer, reader)
         if reader.qos.ownership is OwnershipKind.EXCLUSIVE:
-            reader.owner = self.owners.get(reader.topic.name)
+            parts = self.partitions()
+            pid = (parts.get(reader.host_name)
+                   if parts is not None else None)
+            key = (reader.topic.name, pid)
+            if key in self.partition_owners:
+                reader.owner = self.partition_owners[key]
+            else:
+                reader.owner = self.owners.get(reader.topic.name)
 
     def unregister_writer(self, writer: DataWriter) -> None:
         """Graceful writer departure: matches deactivate, budget frees."""
@@ -149,6 +195,15 @@ class Broker:
                            reader=reader.name, topic=writer.topic.name,
                            reliable=match.reliable, reserved=match.reserved)
         reader.start_deadline_monitor()
+        if (reader.qos.durability is Durability.TRANSIENT_LOCAL
+                and writer.durable_cache is not None
+                and len(writer.durable_cache) > 0):
+            replayed = writer.replay(match)
+            self.replays += replayed
+            if tracer is not None and replayed:
+                tracer.instant("pubsub", "durability.replay",
+                               writer=writer.name, reader=reader.name,
+                               topic=writer.topic.name, samples=replayed)
 
     def _maybe_reserve(self, match: Match) -> None:
         """Reliable KEEP_ALL endpoints claim reserve budget up front."""
@@ -178,19 +233,29 @@ class Broker:
     # ------------------------------------------------------------------
     # Liveliness
     # ------------------------------------------------------------------
-    def heartbeat(self, writer_name: str) -> None:
+    def heartbeat(self, writer_name: str, seq: Optional[int] = None) -> None:
         monitor = self.monitors.get(writer_name)
         if monitor is not None:
             monitor.heartbeat()
+        # The writer's seq rides its heartbeats; fan the dedup-window
+        # trim out to every matched reader so per-writer ledgers stay
+        # O(window) over arbitrarily long runs.
+        if seq is not None and seq > DEDUP_WINDOW:
+            writer = self.writers.get(writer_name)
+            if writer is not None:
+                floor = seq - DEDUP_WINDOW
+                for match in writer.matches.values():
+                    match.reader.trim_dedup(writer_name, floor)
 
     def writer_alive(self, writer_name: str) -> bool:
         monitor = self.monitors.get(writer_name)
         return monitor.alive if monitor is not None else True
 
     def _on_datagram(self, payload: Any, packet: Any) -> None:
-        kind, name = payload
+        kind = payload[0]
         if kind == "hb":
-            self.heartbeat(name)
+            _, name, seq = payload
+            self.heartbeat(name, seq)
 
     def _on_liveliness_change(self, monitor: LivelinessMonitor) -> None:
         writer = self.writers.get(monitor.name)
@@ -199,42 +264,159 @@ class Broker:
             self._recompute_owner(writer.topic.name)
 
     # ------------------------------------------------------------------
+    # Reachability partitions
+    # ------------------------------------------------------------------
+    def partitions(self) -> Optional[Dict[str, str]]:
+        """Device name -> partition id (min member name), or None.
+
+        Union-find over *up* links: two devices share a partition id
+        iff a path of live links connects them.  ``None`` when the
+        broker has no network view (local mode), which keeps every
+        arbitration decision purely lease-driven.
+        """
+        if self.network is None:
+            return None
+        parent: Dict[str, str] = {
+            name: name for name in self.network._adjacency}
+
+        def find(name: str) -> str:
+            root = name
+            while parent[root] != root:
+                root = parent[root]
+            while parent[name] != root:
+                parent[name], name = root, parent[name]
+            return root
+
+        for link in self.network.links:
+            if link.up:
+                ra, rb = find(link.a.owner.name), find(link.b.owner.name)
+                if ra != rb:
+                    parent[max(ra, rb)] = min(ra, rb)
+        members: Dict[str, List[str]] = {}
+        for name in parent:
+            members.setdefault(find(name), []).append(name)
+        out: Dict[str, str] = {}
+        for names in members.values():
+            pid = min(names)
+            for name in names:
+                out[name] = pid
+        return out
+
+    def _host_up(self, writer: DataWriter) -> bool:
+        """Does the writer's host still have any live link (carrier)?"""
+        if writer.nic is None:
+            return True
+        return any(iface.link is not None and iface.link.up
+                   for iface in writer.nic.interfaces)
+
+    def _on_link_state(self, link: Any, up: bool) -> None:
+        # Coalesce bursts (a node crash fails several links at the
+        # same instant) into one zero-delay re-arbitration pass.
+        if self._rearb_pending:
+            return
+        self._rearb_pending = True
+        self.kernel.schedule(0.0, self._rearbitrate_all)
+
+    def _rearbitrate_all(self) -> None:
+        self._rearb_pending = False
+        topics = sorted({
+            w.topic.name for w in self.writers.values()
+            if w.qos.ownership is OwnershipKind.EXCLUSIVE})
+        for topic_name in topics:
+            self._recompute_owner(topic_name)
+
+    # ------------------------------------------------------------------
     # Ownership arbitration
     # ------------------------------------------------------------------
+    def _arbitrate(self, candidates: List[DataWriter],
+                   parts: Optional[Dict[str, str]],
+                   pid: Optional[str]) -> Optional[str]:
+        """Strongest viable EXCLUSIVE writer for partition ``pid``."""
+        home = (parts.get(self.host_name)
+                if parts is not None else None)
+        viable = []
+        for writer in candidates:
+            if parts is None or pid == home:
+                # The broker shares this partition: its lease monitors
+                # are authoritative (a dead writer is evicted one
+                # lease after its last heartbeat, never sooner).
+                ok = self.writer_alive(writer.name)
+            else:
+                # The broker is unreachable from this partition: its
+                # members fall back to local discovery — the strongest
+                # writer whose host sits inside the partition and
+                # still has carrier.
+                ok = (parts.get(writer.host_name) == pid
+                      and self._host_up(writer))
+            if ok:
+                viable.append(writer)
+        if not viable:
+            return None
+        # Strongest wins; ties break to the smallest name so failover
+        # is deterministic at any worker count.
+        return min(viable, key=lambda w: (-w.qos.strength, w.name)).name
+
     def _recompute_owner(self, topic_name: str) -> None:
         candidates = [
             w for w in self.writers.values()
             if w.topic.name == topic_name
             and w.qos.ownership is OwnershipKind.EXCLUSIVE
-            and self.writer_alive(w.name)
         ]
-        if candidates:
-            # Strongest wins; ties break to the smallest name so
-            # failover is deterministic at any worker count.
-            best = min(candidates, key=lambda w: (-w.qos.strength, w.name))
-            new_owner: Optional[str] = best.name
-        else:
-            new_owner = None
-        old_owner = self.owners.get(topic_name)
-        if new_owner == old_owner:
-            return
-        self.owners[topic_name] = new_owner
-        self.ownership_changes += 1
-        tracer = self.kernel.tracer
-        if tracer is not None:
-            tracer.instant("pubsub", "ownership.failover", topic=topic_name,
-                           old=old_owner, new=new_owner)
+        parts = self.partitions()
+        home = parts.get(self.host_name) if parts is not None else None
+        # Partitions currently holding EXCLUSIVE readers of this topic
+        # (the broker's own partition always arbitrates, so the legacy
+        # self.owners view stays live even with no readers).
+        pids = {home}
         for reader in self.readers.values():
             if (reader.topic.name == topic_name
                     and reader.qos.ownership is OwnershipKind.EXCLUSIVE):
-                reader.owner = new_owner
+                pids.add(parts.get(reader.host_name)
+                         if parts is not None else None)
+        for pid in sorted(pids, key=lambda p: p or ""):
+            new_owner = self._arbitrate(candidates, parts, pid)
+            old_owner = self.partition_owners.get(
+                (topic_name, pid), self.owners.get(topic_name))
+            if pid == home:
+                self.owners[topic_name] = new_owner
+            self.partition_owners[(topic_name, pid)] = new_owner
+            if new_owner == old_owner:
+                continue
+            if pid == home:
+                self.ownership_changes += 1
+            else:
+                self.partition_elections += 1
+            tracer = self.kernel.tracer
+            if tracer is not None:
+                tracer.instant("pubsub", "ownership.failover",
+                               topic=topic_name, old=old_owner,
+                               new=new_owner, partition=pid)
+            for reader in self.readers.values():
+                if (reader.topic.name == topic_name
+                        and reader.qos.ownership is OwnershipKind.EXCLUSIVE
+                        and (parts.get(reader.host_name)
+                             if parts is not None else None) == pid):
+                    reader.owner = new_owner
 
     # ------------------------------------------------------------------
     # Adaptation plumbing
     # ------------------------------------------------------------------
     def set_divisor(self, reader: DataReader, divisor: int) -> None:
-        """Set the send divisor on every writer matched to ``reader``."""
+        """Grant a reader's divisor request to its matched writers.
+
+        Local-mode endpoints grant inline; networked requests take one
+        control-plane round trip (:data:`DIVISOR_GRANT_DELAY`), during
+        which the reader paces itself locally.
+        """
         divisor = max(1, int(divisor))
+        if self.nic is None or reader.nic is None:
+            self._grant_divisor(reader, divisor)
+        else:
+            self.kernel.schedule(DIVISOR_GRANT_DELAY,
+                                 self._grant_divisor, reader, divisor)
+
+    def _grant_divisor(self, reader: DataReader, divisor: int) -> None:
+        self.divisor_grants += 1
         for match in reader.matched.values():
             match.divisor = divisor
 

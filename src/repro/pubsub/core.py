@@ -27,14 +27,17 @@ invariant checkers observe one choke point.
 from __future__ import annotations
 
 from collections import namedtuple
-from typing import Any, Callable, Dict, Optional, Set, TYPE_CHECKING
+from typing import Any, Callable, Dict, Optional, Union, TYPE_CHECKING
 
 from repro.net.diffserv import Dscp
 from repro.net.packet import HEADER_BYTES
 from repro.net.transport import DatagramSocket, StreamConnection, StreamListener
+from repro.pubsub.dedup import DedupLedger
+from repro.pubsub.filters import ContentFilter
 from repro.pubsub.history import HistoryCache
 from repro.pubsub.matching import MatchResult
-from repro.pubsub.policies import OwnershipKind, QosPolicy, Reliability
+from repro.pubsub.policies import (Durability, OwnershipKind, QosPolicy,
+                                   Reliability)
 from repro.sim.kernel import Kernel, ScheduledEvent
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -86,13 +89,19 @@ class Match:
     """One compatible writer→reader pairing (created by the broker)."""
 
     __slots__ = ("writer", "reader", "result", "reliable", "dscp",
-                 "divisor", "reserved", "grant_id", "active", "sent")
+                 "divisor", "reserved", "grant_id", "active", "sent",
+                 "filter", "replayed")
 
     def __init__(self, writer: "DataWriter", reader: "DataReader",
                  result: MatchResult) -> None:
         self.writer = writer
         self.reader = reader
         self.result = result
+        #: The reader's content filter, if it declared one — evaluated
+        #: writer-side so rejected samples never cross the wire.
+        self.filter: Optional[ContentFilter] = reader.filter
+        #: Durable samples replayed to this reader at match time.
+        self.replayed = 0
         #: Samples this writer pushed toward this reader (per-match
         #: ledger: the reliable exactly-once check compares it to the
         #: reader's per-writer delivery count).
@@ -150,9 +159,16 @@ class DataWriter:
         self.samples_sent = 0
         #: Sends skipped by a reader's rate divisor (adaptation ledger).
         self.sends_suppressed = 0
+        #: Sends skipped by a reader's content filter.
+        self.sends_filtered = 0
         #: Datagrams refused at the first hop (local link down).
         self.send_failures = 0
         self.heartbeats_sent = 0
+        #: TRANSIENT_LOCAL: everything published, bounded by the
+        #: offered history policy, replayed to late-joining readers.
+        self.durable_cache: Optional[HistoryCache] = None
+        if qos.durability is Durability.TRANSIENT_LOCAL:
+            self.durable_cache = HistoryCache(qos.history, qos.depth)
         self._udp: Optional[DatagramSocket] = None
         if nic is not None:
             self._udp = DatagramSocket(kernel, nic)
@@ -172,14 +188,42 @@ class DataWriter:
         self.samples_written += 1
         sample = Sample(self.topic.name, self.name, self.seq, data,
                         self.kernel.now)
+        if self.durable_cache is not None:
+            self.durable_cache.add(sample)
         for match in self.matches.values():
             if not match.active:
+                continue
+            # Filter before divisor: a filtered sample consumes neither
+            # wire bytes nor the match's EF reserve, and the divisor
+            # paces the published seq stream regardless of filtering.
+            if match.filter is not None and not match.filter.matches(sample):
+                self.sends_filtered += 1
                 continue
             if match.divisor > 1 and self.seq % match.divisor != 0:
                 self.sends_suppressed += 1
                 continue
             self._send(match, sample)
         return sample
+
+    def replay(self, match: Match) -> int:
+        """Replay the durable cache to one (newly matched) reader.
+
+        Returns the number of samples sent.  Replay respects the
+        match's content filter but not its divisor — catch-up delivers
+        the whole in-cache history, and divisors only ever rise after
+        a deadline-adaptive reader has observed live traffic.
+        """
+        if self.durable_cache is None:
+            return 0
+        replayed = 0
+        for sample in self.durable_cache.snapshot():
+            if match.filter is not None and not match.filter.matches(sample):
+                self.sends_filtered += 1
+                continue
+            self._send(match, sample)
+            replayed += 1
+        match.replayed += replayed
+        return replayed
 
     def _send(self, match: Match, sample: Sample) -> None:
         reader = match.reader
@@ -236,13 +280,15 @@ class DataWriter:
         if broker is None:
             return
         self.heartbeats_sent += 1
+        # Heartbeats carry the writer's current seq so the broker can
+        # fan dedup-window trims out to matched readers.
         if self.nic is None or broker.nic is None:
-            broker.heartbeat(self.name)
+            broker.heartbeat(self.name, self.seq)
         else:
             # Dropped at the first hop while this host's link is down —
             # exactly the silence the lease monitor is listening for.
             self._udp.send_to(broker.host_name, BROKER_PORT,
-                              payload=("hb", self.name),
+                              payload=("hb", self.name, self.seq),
                               payload_bytes=HEARTBEAT_BYTES)
         interval = self.qos.lease / 3.0
         self._hb_event = self.kernel.schedule(interval, self._send_heartbeat)
@@ -265,6 +311,7 @@ class DataReader:
         on_sample: Optional[Callable[[Sample, float], None]] = None,
         on_deadline_check: Optional[
             Callable[["DataReader", bool], None]] = None,
+        filter_expr: Optional[Union[str, ContentFilter]] = None,
     ) -> None:
         self.kernel = kernel
         self.topic = topic
@@ -273,6 +320,10 @@ class DataReader:
         self.nic = nic
         self.broker: Optional["Broker"] = None
         self.on_sample = on_sample
+        #: Content filter (installed writer-side on every match).
+        self.filter: Optional[ContentFilter] = (
+            ContentFilter(filter_expr) if isinstance(filter_expr, str)
+            else filter_expr)
         #: Called every deadline period with (reader, missed) — the
         #: deadline-adaptive qosket hangs its contract off this.
         self.on_deadline_check = on_deadline_check
@@ -286,6 +337,12 @@ class DataReader:
         self.duplicates = 0
         self.from_unmatched = 0
         self.ownership_filtered = 0
+        #: Samples dropped locally while a divisor request is in
+        #: flight (the reader paces itself ahead of the grant).
+        self.downsampled = 0
+        #: Samples below a writer's dedup trim floor (ambiguous:
+        #: dropped rather than risk a duplicate delivery).
+        self.stale_drops = 0
         self.budget_violations = 0
         self.deadline_misses = 0
         self.miss_streak = 0
@@ -295,7 +352,12 @@ class DataReader:
         #: Largest inter-arrival gap between accepted samples — the
         #: fig12 failover-gap evidence.
         self.max_gap = 0.0
-        self._seen: Dict[str, Set[int]] = {}
+        self._seen: Dict[str, DedupLedger] = {}
+        #: The divisor this reader is currently pacing itself to.  Set
+        #: immediately on request (before the broker grants) so the
+        #: deadline monitor and local downsampling never flap during
+        #: the request/grant gap.
+        self.pace_divisor = 1
         self._deadline_event: Optional[ScheduledEvent] = None
         # --- receive endpoints ---
         self.datagram_port = 0
@@ -344,11 +406,22 @@ class DataReader:
                 and sample.writer != self.owner):
             self.ownership_filtered += 1
             return
-        seen = self._seen.setdefault(sample.writer, set())
-        if sample.seq in seen:
+        if self.pace_divisor > 1 and sample.seq % self.pace_divisor != 0:
+            # The writer has not caught up with our requested divisor
+            # yet — enforce it locally so the paced cadence starts the
+            # instant the reader decided to shed load.
+            self.downsampled += 1
+            return
+        ledger = self._seen.get(sample.writer)
+        if ledger is None:
+            ledger = self._seen[sample.writer] = DedupLedger()
+        verdict = ledger.observe(sample.seq)
+        if verdict == "duplicate":
             self.duplicates += 1
             return
-        seen.add(sample.seq)
+        if verdict == "stale":
+            self.stale_drops += 1
+            return
         now = self.kernel.now
         if self.last_arrival is not None:
             gap = now - self.last_arrival
@@ -387,9 +460,17 @@ class DataReader:
         since = (self.kernel.now - self.last_arrival
                  if self.last_arrival is not None
                  else self.kernel.now - self._anchor)
+        # A reader pacing itself to every Nth sample expects arrivals
+        # at the paced period, not the declared deadline — judging
+        # against the raw deadline is what used to blow the monitor
+        # during a divisor request/grant gap.  The monitor cadence
+        # itself stays at the declared deadline.
+        expected = period
+        if self.pace_divisor > 1:
+            expected = max(expected, self.pace_divisor / self.topic.rate_hz)
         # Strictly-greater with a float guard: a sample landing exactly
         # on the deadline edge made it.
-        missed = since > period * (1.0 + 1e-9)
+        missed = since > expected * (1.0 + 1e-9)
         if missed:
             self.deadline_misses += 1
             self.miss_streak += 1
@@ -408,9 +489,21 @@ class DataReader:
     # Adaptation
     # ------------------------------------------------------------------
     def request_divisor(self, divisor: int) -> None:
-        """Ask matched writers to send every Nth sample to this reader."""
+        """Ask matched writers to send every Nth sample to this reader.
+
+        The reader adopts the divisor locally *immediately* (pacing its
+        deadline expectation and downsampling in-flight traffic); the
+        broker's grant then reconciles the writers.
+        """
+        self.pace_divisor = max(1, int(divisor))
         if self.broker is not None:
             self.broker.set_divisor(self, divisor)
+
+    def trim_dedup(self, writer_name: str, floor: int) -> None:
+        """Forget dedup state for one writer's seqs ``<= floor``."""
+        ledger = self._seen.get(writer_name)
+        if ledger is not None:
+            ledger.trim(floor)
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"<DataReader {self.name} topic={self.topic.name} "

@@ -35,6 +35,23 @@ Arms (each a different QoS declaration, same topology):
     publisher host mid-run: heartbeats stop at the first hop, the
     lease expires, and the broker fails every affected topic over to
     its backup — measured by the largest delivery gap any reader saw.
+``durable``
+    RELIABLE endpoints that also declare TRANSIENT_LOCAL durability.
+    A late-joiner wave (one extra reader per topic) registers mid-run
+    and must receive the writer's entire in-cache history, replayed
+    through the same reliable reserved path, duplicate-free — then
+    ride live traffic seamlessly.
+``filtered``
+    RELIABLE endpoints where each reader declares a content filter
+    (``seq % 2 == j``): the writer evaluates the filter before send,
+    so rejected samples never cross the wire or consume reserve, and
+    the *filtered* stream is still delivered exactly once.
+``partition``
+    The ownership topology plus a broker partition: the broker's
+    uplink flaps mid-run while the strongest publisher host also
+    crashes.  Readers cut off from the broker elect the strongest
+    reachable writer inside their own partition (instead of freezing
+    on the broker's last word) and re-arbitrate on heal.
 
 The sweep scales total subscribers past the bottleneck's capacity, so
 the arms separate exactly where fan-out outgrows provisioning.
@@ -60,6 +77,7 @@ from repro.scale.admission import AdmissionController
 from repro.pubsub.broker import Broker, RESERVE_HEADROOM
 from repro.pubsub.core import DataReader, DataWriter, Topic
 from repro.pubsub.policies import (
+    Durability,
     HistoryKind,
     OwnershipKind,
     QosPolicy,
@@ -69,6 +87,7 @@ from repro.pubsub.policies import (
 __all__ = [
     "PubSubArm", "pubsub_arms", "fig12_subscriber_counts", "ReaderRow",
     "PubSubResult", "run_pubsub_experiment", "render_fig12_pubsub",
+    "expected_matches",
 ]
 
 #: One sample's payload (single datagram, no fragmentation) and rate.
@@ -107,24 +126,37 @@ DRAIN_GRACE = 0.5
 OWNER_PRIMARY_STRENGTH = 10
 OWNER_BACKUP_STRENGTH = 5
 
+#: When the durable arm's late-joiner wave registers (fraction of the
+#: run).  Early enough that replay + remaining live traffic drains
+#: through the reserved band before the horizon, late enough that the
+#: in-cache history is a real catch-up burst.
+LATE_JOIN_FRACTION = 0.45
+#: Late joiners per topic in the durable arm.
+LATE_PER_TOPIC = 1
+
 
 class PubSubArm:
     """One fig 12 arm: which QoS declaration the endpoints make."""
 
     def __init__(self, name: str, reliable: bool = False,
                  adaptive: bool = False, ownership: bool = False,
-                 faults: bool = False) -> None:
+                 faults: bool = False, durable: bool = False,
+                 filtered: bool = False, partition: bool = False) -> None:
         self.name = name
         self.reliable = bool(reliable)
         self.adaptive = bool(adaptive)
         self.ownership = bool(ownership)
         self.faults = bool(faults)
+        self.durable = bool(durable)
+        self.filtered = bool(filtered)
+        self.partition = bool(partition)
 
     def __reduce__(self):
         # Constructor-call reduce (see CapacityArm): payload bytes stay
         # identical at any worker count.
         return (self.__class__, (self.name, self.reliable, self.adaptive,
-                                 self.ownership, self.faults))
+                                 self.ownership, self.faults, self.durable,
+                                 self.filtered, self.partition))
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, PubSubArm):
@@ -132,12 +164,16 @@ class PubSubArm:
         return (self.name == other.name and self.reliable == other.reliable
                 and self.adaptive == other.adaptive
                 and self.ownership == other.ownership
-                and self.faults == other.faults)
+                and self.faults == other.faults
+                and self.durable == other.durable
+                and self.filtered == other.filtered
+                and self.partition == other.partition)
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"PubSubArm({self.name!r}, reliable={self.reliable}, "
                 f"adaptive={self.adaptive}, ownership={self.ownership}, "
-                f"faults={self.faults})")
+                f"faults={self.faults}, durable={self.durable}, "
+                f"filtered={self.filtered}, partition={self.partition})")
 
 
 def pubsub_arms() -> List[PubSubArm]:
@@ -146,7 +182,24 @@ def pubsub_arms() -> List[PubSubArm]:
         PubSubArm("reliable", reliable=True, faults=True),
         PubSubArm("adaptive", adaptive=True),
         PubSubArm("ownership", ownership=True, faults=True),
+        PubSubArm("durable", reliable=True, durable=True),
+        PubSubArm("filtered", reliable=True, filtered=True),
+        PubSubArm("partition", ownership=True, partition=True, faults=True),
     ]
+
+
+def expected_matches(arm: PubSubArm) -> int:
+    """Matches the broker must form for one run of ``arm``.
+
+    Every measured reader matches every writer on its topic (two for
+    the ownership arms); the durable arm's late-joiner wave adds one
+    more reader per topic.
+    """
+    per_reader = 2 if arm.ownership else 1
+    reader_count = TOPICS * MEASURED_PER_TOPIC
+    if arm.durable:
+        reader_count += TOPICS * LATE_PER_TOPIC
+    return reader_count * per_reader
 
 
 def fig12_subscriber_counts() -> List[int]:
@@ -178,6 +231,10 @@ ReaderRow = namedtuple("ReaderRow", [
     "mean_latency",
     "max_gap",            # largest inter-arrival gap (failover probe)
     "divisor",            # final pacing divisor (1 unless adaptive)
+    "replayed",           # durable samples replayed at match time
+    "downsampled",        # dropped locally while pacing ahead of grant
+    "stale",              # dropped below a writer's dedup trim floor
+    "joined_at",          # registration time (0.0 for the initial cohort)
 ])
 
 
@@ -262,6 +319,13 @@ class PubSubResult:
         self.grant_denials = 0
         self.heartbeats_sent = 0
         self.contract_transitions = 0
+        #: Durable samples replayed to late joiners (broker total).
+        self.replays = 0
+        #: Sends skipped by reader content filters (writer total).
+        self.sends_filtered = 0
+        #: Owner elections decided for partitions without the broker.
+        self.partition_elections = 0
+        self.divisor_grants = 0
         #: Fluid tail: per-subscriber delivered fps and loss fraction.
         self.tail_count = 0
         self.tail_per_sub_fps = 0.0
@@ -314,6 +378,11 @@ class PubSubResult:
         return max((r.max_gap for r in self.reader_rows), default=0.0)
 
     @property
+    def late_rows(self) -> List[ReaderRow]:
+        """Rows for the durable arm's late-joiner wave."""
+        return [r for r in self.reader_rows if r.joined_at > 0.0]
+
+    @property
     def total_deadline_misses(self) -> int:
         return sum(r.deadline_misses for r in self.reader_rows)
 
@@ -326,20 +395,34 @@ def _arm_policies(arm: PubSubArm, strength: int = 0):
     depth = KEEP_ALL_DEPTH if arm.reliable else 8
     ownership = (OwnershipKind.EXCLUSIVE if arm.ownership
                  else OwnershipKind.SHARED)
+    durability = (Durability.TRANSIENT_LOCAL if arm.durable
+                  else Durability.VOLATILE)
     offered = QosPolicy(
         reliability=reliability, history=history, depth=depth,
         deadline=WRITER_DEADLINE, latency_budget=OFFERED_BUDGET,
-        lease=LEASE, ownership=ownership, strength=strength)
+        lease=LEASE, ownership=ownership, strength=strength,
+        durability=durability)
     requested = QosPolicy(
         reliability=reliability, history=history, depth=depth,
         deadline=READER_DEADLINE, latency_budget=REQUESTED_BUDGET,
-        lease=None, ownership=ownership)
+        lease=None, ownership=ownership, durability=durability)
     return offered, requested
 
 
 def _fault_plan(arm: PubSubArm, duration: float) -> List[Dict]:
     if not arm.faults:
         return []
+    if arm.partition:
+        # Cut the broker's uplink (partitioning control from data),
+        # then crash the strongest publisher host *inside* the window:
+        # the readers' partition must elect the reachable backups on
+        # its own, and everything re-arbitrates after the heal.
+        return [
+            {"kind": "link_flap", "link": ["brk", "router"],
+             "at": 0.40 * duration, "duration": 0.25 * duration},
+            {"kind": "node_crash", "node": "pub0",
+             "at": 0.45 * duration, "duration": 0.25 * duration},
+        ]
     if arm.ownership:
         # Kill the strongest publisher host mid-run; restore later so
         # the lease-revival (and ownership preemption) path runs too.
@@ -397,7 +480,8 @@ def run_pubsub_experiment(
 
     controller = AdmissionController.from_network(
         net, link_bound=UTILIZATION_BOUND)
-    broker = Broker(kernel, nic=net.nic_of("brk"), admission=controller)
+    broker = Broker(kernel, nic=net.nic_of("brk"), admission=controller,
+                    network=net)
 
     # --- endpoints: topic t_i published from pub{i%K}; ownership arm
     # adds a weaker backup writer on the next host over.
@@ -421,15 +505,39 @@ def run_pubsub_experiment(
 
     readers: List[DataReader] = []
     qoskets: List[PacingQosket] = []
+    joined_at: Dict[str, float] = {}
     for i, topic in enumerate(topics):
         for j in range(MEASURED_PER_TOPIC):
             _, requested = _arm_policies(arm)
+            # Content filters split each topic's seq stream between
+            # its two measured readers (writer-side evaluation).
+            filter_expr = f"seq % 2 == {j % 2}" if arm.filtered else None
             reader = DataReader(kernel, topic, requested, f"r{i}.{j}",
-                                nic=net.nic_of("sub"))
+                                nic=net.nic_of("sub"),
+                                filter_expr=filter_expr)
             if arm.adaptive:
                 qoskets.append(PacingQosket(kernel, reader))
             broker.register_reader(reader)
             readers.append(reader)
+
+    # --- durable arm: a late-joiner wave registers mid-run and must
+    # catch up from the writers' TRANSIENT_LOCAL caches.  (The wave is
+    # deliberately absent from the fluid mirror below: its reserved
+    # rate is a small constant on top of an already-booked band.)
+    late_join_time = LATE_JOIN_FRACTION * duration
+
+    def join_late() -> None:
+        for i, topic in enumerate(topics):
+            for j in range(LATE_PER_TOPIC):
+                _, requested = _arm_policies(arm)
+                reader = DataReader(kernel, topic, requested,
+                                    f"r{i}.late{j}", nic=net.nic_of("sub"))
+                joined_at[reader.name] = kernel.now
+                broker.register_reader(reader)
+                readers.append(reader)
+
+    if arm.durable:
+        kernel.schedule(late_join_time, join_late)
 
     # --- fluid tail: the remaining subscribers as per-topic aggregates
     engine = FluidEngine(kernel, quantum=1e-3)
@@ -524,10 +632,18 @@ def run_pubsub_experiment(
             mean_latency=reader.mean_latency,
             max_gap=reader.max_gap,
             divisor=divisor,
+            replayed=sum(m.replayed for m in reader.matched.values()),
+            downsampled=reader.downsampled,
+            stale=reader.stale_drops,
+            joined_at=joined_at.get(reader.name, 0.0),
         ))
     result.matches_formed = broker.matches_formed
     result.matches_rejected = broker.matches_rejected
     result.ownership_changes = broker.ownership_changes
+    result.replays = broker.replays
+    result.partition_elections = broker.partition_elections
+    result.divisor_grants = broker.divisor_grants
+    result.sends_filtered = sum(w.sends_filtered for w in writers)
     for monitor in broker.monitors.values():
         result.liveliness_lost += monitor.lost_count
         result.liveliness_revived += sum(
@@ -570,6 +686,9 @@ def render_fig12_pubsub(sweeps: "Dict[str, List[PubSubResult]]") -> str:
 
     sections = []
     ownership_results: List[PubSubResult] = []
+    durable_results: List[PubSubResult] = []
+    filtered_results: List[PubSubResult] = []
+    partition_results: List[PubSubResult] = []
     for arm_name, results in sweeps.items():
         rows = []
         for result in results:
@@ -588,6 +707,12 @@ def render_fig12_pubsub(sweeps: "Dict[str, List[PubSubResult]]") -> str:
             ))
             if arm_name == "ownership":
                 ownership_results.append(result)
+            elif arm_name == "durable":
+                durable_results.append(result)
+            elif arm_name == "filtered":
+                filtered_results.append(result)
+            elif arm_name == "partition":
+                partition_results.append(result)
         table = render_table(
             ("subs", "matches", "fps", "min fps", "delivery",
              "misses", "1x", "tail fps", "tail loss", "max gap", "events"),
@@ -605,6 +730,45 @@ def render_fig12_pubsub(sweeps: "Dict[str, List[PubSubResult]]") -> str:
                 f"lost={result.liveliness_lost} "
                 f"revived={result.liveliness_revived} "
                 f"handoffs={result.ownership_changes} "
+                f"gap={result.failover_gap:.3f} s")
+        sections.append("\n".join(lines))
+
+    if durable_results:
+        lines = ["durable late-joiner catch-up (TRANSIENT_LOCAL replay "
+                 "from the writer history cache at match time):"]
+        for result in durable_results:
+            late = result.late_rows
+            replayed = sum(r.replayed for r in late)
+            dup = sum(r.duplicates for r in late)
+            complete = all(r.delivered == r.sent_to for r in late)
+            lines.append(
+                f"  subs={result.subscribers:>5}: "
+                f"late_readers={len(late)} "
+                f"replayed={replayed} duplicates={dup} "
+                f"complete={'yes' if complete else 'no'}")
+        sections.append("\n".join(lines))
+
+    if filtered_results:
+        lines = ["content filters (seq % 2 == j, evaluated writer-side; "
+                 "filtered samples never cross the wire):"]
+        for result in filtered_results:
+            lines.append(
+                f"  subs={result.subscribers:>5}: "
+                f"sends_filtered={result.sends_filtered} "
+                f"mean_fps={result.mean_fps:.2f} "
+                f"1x={'yes' if result.exactly_once else 'no'}")
+        sections.append("\n".join(lines))
+
+    if partition_results:
+        lines = ["partition/heal cycle (broker uplink flap + primary "
+                 "crash; readers elect reachable writers per partition):"]
+        for result in partition_results:
+            lines.append(
+                f"  subs={result.subscribers:>5}: "
+                f"elections={result.partition_elections} "
+                f"handoffs={result.ownership_changes} "
+                f"lost={result.liveliness_lost} "
+                f"revived={result.liveliness_revived} "
                 f"gap={result.failover_gap:.3f} s")
         sections.append("\n".join(lines))
     return "\n\n".join(sections)

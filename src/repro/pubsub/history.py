@@ -64,6 +64,14 @@ class HistoryCache:
         self._samples.clear()
         return out
 
+    def snapshot(self) -> List[Any]:
+        """The stored samples, oldest first, without draining.
+
+        TRANSIENT_LOCAL writers replay this to late-joining readers;
+        the cache itself keeps serving subsequent joiners.
+        """
+        return list(self._samples)
+
     def peek_latest(self) -> Optional[Any]:
         return self._samples[-1] if self._samples else None
 

@@ -7,6 +7,10 @@ compatible, following the DDS lattice laws:
 * **reliability** — offered must be at least as strong as requested
   (RELIABLE ⊒ BEST_EFFORT).  Enumerated in
   :data:`RELIABILITY_COMPAT`.
+* **durability** — offered must be at least as strong as requested
+  (TRANSIENT_LOCAL ⊒ VOLATILE): a reader asking for late-joiner
+  catch-up needs a writer that actually caches what it published.
+  Enumerated in :data:`DURABILITY_COMPAT`.
 * **ownership** — kinds must be *equal*; a reader expecting exclusive
   arbitration cannot consume a shared topic and vice versa.
   Enumerated in :data:`OWNERSHIP_COMPAT`.
@@ -35,11 +39,13 @@ from __future__ import annotations
 from collections import namedtuple
 from typing import Dict, Optional, Tuple
 
-from repro.pubsub.policies import OwnershipKind, QosPolicy, Reliability
+from repro.pubsub.policies import (Durability, OwnershipKind, QosPolicy,
+                                   Reliability)
 
 __all__ = [
     "MatchResult",
     "RELIABILITY_COMPAT",
+    "DURABILITY_COMPAT",
     "OWNERSHIP_COMPAT",
     "rxo_check",
     "enum_matrix",
@@ -53,6 +59,16 @@ RELIABILITY_COMPAT: Dict[Tuple[Reliability, Reliability], bool] = {
     (Reliability.BEST_EFFORT, Reliability.RELIABLE): False,
     (Reliability.RELIABLE, Reliability.BEST_EFFORT): True,
     (Reliability.RELIABLE, Reliability.RELIABLE): True,
+}
+
+#: (offered, requested) -> compatible.  Offered must dominate: a
+#: TRANSIENT_LOCAL writer satisfies any reader; a VOLATILE writer
+#: cannot serve a reader that requested catch-up.
+DURABILITY_COMPAT: Dict[Tuple[Durability, Durability], bool] = {
+    (Durability.VOLATILE, Durability.VOLATILE): True,
+    (Durability.VOLATILE, Durability.TRANSIENT_LOCAL): False,
+    (Durability.TRANSIENT_LOCAL, Durability.VOLATILE): True,
+    (Durability.TRANSIENT_LOCAL, Durability.TRANSIENT_LOCAL): True,
 }
 
 #: (offered, requested) -> compatible.  Kinds must agree exactly.
@@ -77,7 +93,8 @@ MatchResult = namedtuple(
     ["compatible", "failed", "effective_deadline", "effective_budget"])
 
 #: Canonical policy evaluation order (stable ``failed`` tuples).
-_POLICY_ORDER = ("reliability", "ownership", "deadline", "liveliness")
+_POLICY_ORDER = ("reliability", "durability", "ownership", "deadline",
+                 "liveliness")
 
 
 def _leq_with_infinity(offered: Optional[float],
@@ -95,6 +112,8 @@ def rxo_check(offered: QosPolicy, requested: QosPolicy) -> MatchResult:
     verdicts = {
         "reliability": RELIABILITY_COMPAT[
             (offered.reliability, requested.reliability)],
+        "durability": DURABILITY_COMPAT[
+            (offered.durability, requested.durability)],
         "ownership": OWNERSHIP_COMPAT[
             (offered.ownership, requested.ownership)],
         "deadline": _leq_with_infinity(offered.deadline, requested.deadline),
@@ -109,22 +128,31 @@ def rxo_check(offered: QosPolicy, requested: QosPolicy) -> MatchResult:
     )
 
 
-def enum_matrix() -> Dict[Tuple[int, int, int, int], bool]:
+def enum_matrix() -> Dict[Tuple[int, int, int, int, int, int], bool]:
     """The full pure-enum cross-product as a flat pinned table.
 
     Keys are ``(offered_reliability, requested_reliability,
-    offered_ownership, requested_ownership)`` as ints; values are the
-    match verdict with every numeric policy left at defaults.  The
-    exhaustive table test compares this against a literal so any edit
-    to the compatibility rules is a visible diff.
+    offered_durability, requested_durability, offered_ownership,
+    requested_ownership)`` as ints; values are the match verdict with
+    every numeric policy left at defaults.  The exhaustive table test
+    compares this against a literal so any edit to the compatibility
+    rules is a visible diff.
     """
-    out: Dict[Tuple[int, int, int, int], bool] = {}
+    out: Dict[Tuple[int, int, int, int, int, int], bool] = {}
     for rel_o in Reliability:
         for rel_r in Reliability:
-            for own_o in OwnershipKind:
-                for own_r in OwnershipKind:
-                    offered = QosPolicy(reliability=rel_o, ownership=own_o)
-                    requested = QosPolicy(reliability=rel_r, ownership=own_r)
-                    out[(int(rel_o), int(rel_r), int(own_o), int(own_r))] = (
-                        rxo_check(offered, requested).compatible)
+            for dur_o in Durability:
+                for dur_r in Durability:
+                    for own_o in OwnershipKind:
+                        for own_r in OwnershipKind:
+                            offered = QosPolicy(reliability=rel_o,
+                                                ownership=own_o,
+                                                durability=dur_o)
+                            requested = QosPolicy(reliability=rel_r,
+                                                  ownership=own_r,
+                                                  durability=dur_r)
+                            key = (int(rel_o), int(rel_r), int(dur_o),
+                                   int(dur_r), int(own_o), int(own_r))
+                            out[key] = rxo_check(offered,
+                                                 requested).compatible
     return out

@@ -15,7 +15,10 @@ endpoint *offers* (writers) or *requests* (readers):
   quiet for one lease is declared dead and loses ownership;
 * **ownership/strength** — SHARED lets every matched writer deliver;
   EXCLUSIVE delivers only the strongest *live* writer per topic, with
-  deterministic failover down the strength order.
+  deterministic failover down the strength order;
+* **durability** — VOLATILE samples exist only in flight;
+  TRANSIENT_LOCAL writers keep a history-bounded cache of what they
+  published and replay it to late-joining readers at match time.
 
 ``None`` for ``deadline`` or ``lease`` means *infinite* (unmonitored),
 matching the DDS defaults.  Policies travel through
@@ -30,7 +33,8 @@ from __future__ import annotations
 from enum import IntEnum
 from typing import Any, Dict, Optional
 
-__all__ = ["Reliability", "HistoryKind", "OwnershipKind", "QosPolicy"]
+__all__ = ["Reliability", "HistoryKind", "OwnershipKind", "Durability",
+           "QosPolicy"]
 
 
 class Reliability(IntEnum):
@@ -54,11 +58,19 @@ class OwnershipKind(IntEnum):
     EXCLUSIVE = 1
 
 
+class Durability(IntEnum):
+    """Do samples outlive their send; TRANSIENT_LOCAL offers more."""
+
+    VOLATILE = 0
+    TRANSIENT_LOCAL = 1
+
+
 class QosPolicy:
     """One endpoint's declared QoS (immutable value object)."""
 
     __slots__ = ("reliability", "history", "depth", "deadline",
-                 "latency_budget", "lease", "ownership", "strength")
+                 "latency_budget", "lease", "ownership", "strength",
+                 "durability")
 
     def __init__(
         self,
@@ -70,10 +82,12 @@ class QosPolicy:
         lease: Optional[float] = None,
         ownership: OwnershipKind = OwnershipKind.SHARED,
         strength: int = 0,
+        durability: Durability = Durability.VOLATILE,
     ) -> None:
         reliability = Reliability(reliability)
         history = HistoryKind(history)
         ownership = OwnershipKind(ownership)
+        durability = Durability(durability)
         if depth < 1:
             raise ValueError(f"history depth must be >= 1, got {depth}")
         if deadline is not None and deadline <= 0:
@@ -93,6 +107,7 @@ class QosPolicy:
             self, "lease", None if lease is None else float(lease))
         object.__setattr__(self, "ownership", ownership)
         object.__setattr__(self, "strength", int(strength))
+        object.__setattr__(self, "durability", durability)
 
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError(f"QosPolicy is immutable (tried to set {name!r})")
@@ -103,7 +118,7 @@ class QosPolicy:
     def _key(self) -> tuple:
         return (self.reliability, self.history, self.depth, self.deadline,
                 self.latency_budget, self.lease, self.ownership,
-                self.strength)
+                self.strength, self.durability)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, QosPolicy):
@@ -122,7 +137,8 @@ class QosPolicy:
         return (f"QosPolicy({self.reliability.name}, {self.history.name}"
                 f"(depth={self.depth}), deadline={self.deadline}, "
                 f"budget={self.latency_budget}, lease={self.lease}, "
-                f"{self.ownership.name}(strength={self.strength}))")
+                f"{self.ownership.name}(strength={self.strength}), "
+                f"{self.durability.name})")
 
     # ------------------------------------------------------------------
     # RunSpec travel
@@ -138,6 +154,7 @@ class QosPolicy:
             "lease": self.lease,
             "ownership": int(self.ownership),
             "strength": self.strength,
+            "durability": int(self.durability),
         }
 
     @classmethod

@@ -352,3 +352,116 @@ def test_transient_window_drops_are_conserved_under_the_checkers():
     # Conservation arithmetic: everything sent is delivered, queued on
     # a dead egress, or dropped with a reason — nothing vanished.
     assert len(got) < 200
+
+
+# ----------------------------------------------------------------------
+# Sequence wraparound and LSA aging (opt-in via max_age)
+# ----------------------------------------------------------------------
+def test_seq_newer_obeys_serial_number_arithmetic():
+    from repro.net import SEQ_MODULUS, seq_newer
+
+    assert seq_newer(2, 1)
+    assert not seq_newer(1, 2)
+    assert not seq_newer(5, 5)
+    # The wrap boundary: 0 is fresher than the top of the space.
+    assert seq_newer(0, SEQ_MODULUS - 1)
+    assert not seq_newer(SEQ_MODULUS - 1, 0)
+    # Half the space ahead is NOT newer (the ambiguity guard).
+    half = SEQ_MODULUS // 2
+    assert not seq_newer(half, 0)
+    assert seq_newer(half - 1, 0)
+    # Antisymmetry everywhere but the half-space edge.
+    for a, b in ((7, 3), (3, 7), (0, SEQ_MODULUS - 1), (12, 12)):
+        assert not (seq_newer(a, b) and seq_newer(b, a))
+
+
+def test_accept_honors_a_wrapped_sequence():
+    """An LSA whose seq wrapped past the modulus must still replace
+    the numerically larger incumbent."""
+    from repro.net import SEQ_MODULUS
+
+    kernel = Kernel()
+    net = diamond(kernel)
+    routing = LinkStateRouting(kernel, net, spf_delay=0.05)
+    routing.start()
+    node = routing.nodes["r1"]
+    # Stage a long-lived incumbent near the top of the seq space (a
+    # fresh jump from the seeded seq=1 straight to the top would be
+    # correctly rejected as wrapped-behind).
+    del node.lsdb["r2"]
+    top = lsa("r2", SEQ_MODULUS - 1, [("r1", 1.0), ("r4", 1.0)])
+    routing._accept(node, top, learned_from=None)
+    assert node.lsdb["r2"].seq == SEQ_MODULUS - 1
+    wrapped = lsa("r2", 0, [("r1", 1.0), ("r4", 1.0)])
+    routing._accept(node, wrapped, learned_from=None)
+    assert node.lsdb["r2"].seq == 0  # the wrap won
+    stale = lsa("r2", SEQ_MODULUS - 5, [("r1", 1.0)])
+    routing._accept(node, stale, learned_from=None)
+    assert node.lsdb["r2"].seq == 0  # pre-wrap seq is stale now
+
+
+def test_originate_wraps_at_the_modulus():
+    from repro.net import SEQ_MODULUS
+
+    kernel = Kernel()
+    net = diamond(kernel)
+    routing = LinkStateRouting(kernel, net, spf_delay=0.05)
+    routing.start()
+    # Simulate a long-lived network: r1's LSA sits at the top of the
+    # seq space in every LSDB, so its next origination wraps to 0.
+    routing.nodes["r1"].seq = SEQ_MODULUS - 1
+    for node in routing.nodes.values():
+        node.lsdb["r1"] = lsa(
+            "r1", SEQ_MODULUS - 1,
+            [("r2", 1.0), ("r3", 1.0)], stubs=("src",))
+    routing._originate("r1")
+    assert routing.nodes["r1"].seq == 0
+    kernel.run(until=1.0)
+    # Every peer accepted the wrapped origination.
+    for name in ("r2", "r3", "r4"):
+        assert routing.nodes[name].lsdb["r1"].seq == 0
+
+
+def test_ghost_lsa_expires_after_max_age():
+    """An LSA whose originator is gone ages out of every LSDB; the
+    live routers' own refresh keeps their LSAs pinned forever."""
+    kernel = Kernel()
+    net = diamond(kernel)
+    routing = LinkStateRouting(kernel, net, spf_delay=0.05, max_age=6.0)
+    routing.start()
+    # Inject a ghost router's LSA directly into r1 (as if a since-dead
+    # router had flooded it); it floods everywhere, then must die of
+    # old age because nothing refreshes it.
+    ghost = lsa("ghost", 5, [], stubs=("hX",))
+    routing._accept(routing.nodes["r1"], ghost, learned_from=None)
+    kernel.run(until=1.0)
+    assert all("ghost" in node.lsdb for node in routing.nodes.values())
+    kernel.run(until=10.0)
+    assert all("ghost" not in node.lsdb for node in routing.nodes.values())
+    assert routing.lsas_expired >= len(routing.nodes)
+    # The real routers refreshed and never expired.
+    assert routing.lsas_refreshed > 0
+    for name, node in routing.nodes.items():
+        assert set(node.lsdb) == set(routing.nodes)
+    routing.stop()
+
+
+def test_refresh_interval_must_undercut_max_age():
+    kernel = Kernel()
+    net = diamond(kernel)
+    with pytest.raises(ValueError):
+        LinkStateRouting(kernel, net, max_age=5.0, refresh_interval=5.0)
+
+
+def test_aging_disabled_by_default_adds_no_events():
+    kernel = Kernel()
+    net = diamond(kernel)
+    routing = LinkStateRouting(kernel, net, spf_delay=0.05)
+    routing.start()
+    assert routing.max_age is None
+    assert routing._refresh_event is None and routing._age_event is None
+    events_before = kernel.events_executed
+    kernel.run(until=60.0)
+    assert kernel.events_executed == events_before  # fully quiescent
+    assert routing.lsas_refreshed == 0
+    assert routing.lsas_expired == 0

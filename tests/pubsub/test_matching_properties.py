@@ -19,12 +19,14 @@ editing the compatibility rules must show up as a diff here.
 from hypothesis import given, settings, strategies as st
 
 from repro.pubsub.matching import (
+    DURABILITY_COMPAT,
     OWNERSHIP_COMPAT,
     RELIABILITY_COMPAT,
     enum_matrix,
     rxo_check,
 )
 from repro.pubsub.policies import (
+    Durability,
     HistoryKind,
     OwnershipKind,
     QosPolicy,
@@ -47,6 +49,7 @@ POLICY = st.builds(
     lease=MAYBE_PERIOD,
     ownership=st.sampled_from(OwnershipKind),
     strength=st.integers(min_value=0, max_value=100),
+    durability=st.sampled_from(Durability),
 )
 
 
@@ -70,6 +73,8 @@ def test_verdict_decomposes_into_policy_laws(offered, requested):
         name for name, ok in (
             ("reliability", RELIABILITY_COMPAT[
                 (offered.reliability, requested.reliability)]),
+            ("durability", DURABILITY_COMPAT[
+                (offered.durability, requested.durability)]),
             ("ownership", OWNERSHIP_COMPAT[
                 (offered.ownership, requested.ownership)]),
             ("deadline", _leq(offered.deadline, requested.deadline)),
@@ -147,6 +152,22 @@ def test_history_never_affects_matching(offered, requested, history_o,
 
 @settings(max_examples=300)
 @given(offered=POLICY, requested=POLICY)
+def test_transient_local_dominates_volatile(offered, requested):
+    """TRANSIENT_LOCAL ⊒ VOLATILE: upgrading the offer never hurts."""
+    upgraded = offered.replace(durability=Durability.TRANSIENT_LOCAL)
+    if rxo_check(offered, requested).compatible:
+        assert rxo_check(upgraded, requested).compatible
+    # And durability refuses exactly the (VOLATILE offered,
+    # TRANSIENT_LOCAL requested) corner.
+    durability_failed = "durability" in rxo_check(offered,
+                                                  requested).failed
+    assert durability_failed == (
+        offered.durability is Durability.VOLATILE
+        and requested.durability is Durability.TRANSIENT_LOCAL)
+
+
+@settings(max_examples=300)
+@given(offered=POLICY, requested=POLICY)
 def test_liveliness_offered_lease_must_cover_requested(offered, requested):
     result = rxo_check(offered, requested)
     assert ("liveliness" not in result.failed) == _leq(
@@ -156,7 +177,8 @@ def test_liveliness_offered_lease_must_cover_requested(offered, requested):
 @settings(max_examples=300)
 @given(offered=POLICY, requested=POLICY)
 def test_failed_tuple_is_canonically_ordered(offered, requested):
-    order = ("reliability", "ownership", "deadline", "liveliness")
+    order = ("reliability", "durability", "ownership", "deadline",
+             "liveliness")
     failed = rxo_check(offered, requested).failed
     assert list(failed) == [name for name in order if name in failed]
     assert len(set(failed)) == len(failed)
@@ -165,26 +187,76 @@ def test_failed_tuple_is_canonically_ordered(offered, requested):
 # ----------------------------------------------------------------------
 # The pinned exhaustive table
 # ----------------------------------------------------------------------
-#: (offered_reliability, requested_reliability, offered_ownership,
-#: requested_ownership) -> compatible, with numeric policies at their
-#: defaults.  BEST_EFFORT=0/RELIABLE=1, SHARED=0/EXCLUSIVE=1.
+#: (offered_reliability, requested_reliability, offered_durability,
+#: requested_durability, offered_ownership, requested_ownership) ->
+#: compatible, with numeric policies at their defaults.
+#: BEST_EFFORT=0/RELIABLE=1, VOLATILE=0/TRANSIENT_LOCAL=1,
+#: SHARED=0/EXCLUSIVE=1.
 PINNED_MATRIX = {
-    (0, 0, 0, 0): True,
-    (0, 0, 0, 1): False,
-    (0, 0, 1, 0): False,
-    (0, 0, 1, 1): True,
-    (0, 1, 0, 0): False,
-    (0, 1, 0, 1): False,
-    (0, 1, 1, 0): False,
-    (0, 1, 1, 1): False,
-    (1, 0, 0, 0): True,
-    (1, 0, 0, 1): False,
-    (1, 0, 1, 0): False,
-    (1, 0, 1, 1): True,
-    (1, 1, 0, 0): True,
-    (1, 1, 0, 1): False,
-    (1, 1, 1, 0): False,
-    (1, 1, 1, 1): True,
+    (0, 0, 0, 0, 0, 0): True,
+    (0, 0, 0, 0, 0, 1): False,
+    (0, 0, 0, 0, 1, 0): False,
+    (0, 0, 0, 0, 1, 1): True,
+    (0, 0, 0, 1, 0, 0): False,
+    (0, 0, 0, 1, 0, 1): False,
+    (0, 0, 0, 1, 1, 0): False,
+    (0, 0, 0, 1, 1, 1): False,
+    (0, 0, 1, 0, 0, 0): True,
+    (0, 0, 1, 0, 0, 1): False,
+    (0, 0, 1, 0, 1, 0): False,
+    (0, 0, 1, 0, 1, 1): True,
+    (0, 0, 1, 1, 0, 0): True,
+    (0, 0, 1, 1, 0, 1): False,
+    (0, 0, 1, 1, 1, 0): False,
+    (0, 0, 1, 1, 1, 1): True,
+    (0, 1, 0, 0, 0, 0): False,
+    (0, 1, 0, 0, 0, 1): False,
+    (0, 1, 0, 0, 1, 0): False,
+    (0, 1, 0, 0, 1, 1): False,
+    (0, 1, 0, 1, 0, 0): False,
+    (0, 1, 0, 1, 0, 1): False,
+    (0, 1, 0, 1, 1, 0): False,
+    (0, 1, 0, 1, 1, 1): False,
+    (0, 1, 1, 0, 0, 0): False,
+    (0, 1, 1, 0, 0, 1): False,
+    (0, 1, 1, 0, 1, 0): False,
+    (0, 1, 1, 0, 1, 1): False,
+    (0, 1, 1, 1, 0, 0): False,
+    (0, 1, 1, 1, 0, 1): False,
+    (0, 1, 1, 1, 1, 0): False,
+    (0, 1, 1, 1, 1, 1): False,
+    (1, 0, 0, 0, 0, 0): True,
+    (1, 0, 0, 0, 0, 1): False,
+    (1, 0, 0, 0, 1, 0): False,
+    (1, 0, 0, 0, 1, 1): True,
+    (1, 0, 0, 1, 0, 0): False,
+    (1, 0, 0, 1, 0, 1): False,
+    (1, 0, 0, 1, 1, 0): False,
+    (1, 0, 0, 1, 1, 1): False,
+    (1, 0, 1, 0, 0, 0): True,
+    (1, 0, 1, 0, 0, 1): False,
+    (1, 0, 1, 0, 1, 0): False,
+    (1, 0, 1, 0, 1, 1): True,
+    (1, 0, 1, 1, 0, 0): True,
+    (1, 0, 1, 1, 0, 1): False,
+    (1, 0, 1, 1, 1, 0): False,
+    (1, 0, 1, 1, 1, 1): True,
+    (1, 1, 0, 0, 0, 0): True,
+    (1, 1, 0, 0, 0, 1): False,
+    (1, 1, 0, 0, 1, 0): False,
+    (1, 1, 0, 0, 1, 1): True,
+    (1, 1, 0, 1, 0, 0): False,
+    (1, 1, 0, 1, 0, 1): False,
+    (1, 1, 0, 1, 1, 0): False,
+    (1, 1, 0, 1, 1, 1): False,
+    (1, 1, 1, 0, 0, 0): True,
+    (1, 1, 1, 0, 0, 1): False,
+    (1, 1, 1, 0, 1, 0): False,
+    (1, 1, 1, 0, 1, 1): True,
+    (1, 1, 1, 1, 0, 0): True,
+    (1, 1, 1, 1, 0, 1): False,
+    (1, 1, 1, 1, 1, 0): False,
+    (1, 1, 1, 1, 1, 1): True,
 }
 
 
@@ -194,4 +266,5 @@ def test_enum_matrix_matches_pinned_table():
 
 def test_pinned_table_is_exhaustive():
     assert len(PINNED_MATRIX) == (
-        len(Reliability) ** 2 * len(OwnershipKind) ** 2)
+        len(Reliability) ** 2 * len(Durability) ** 2
+        * len(OwnershipKind) ** 2)

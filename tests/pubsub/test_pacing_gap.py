@@ -1,0 +1,129 @@
+"""The divisor request/grant gap: reader-side downsampling, no flap.
+
+The bug: a networked divisor request takes a control-plane round trip
+(:data:`~repro.pubsub.broker.DIVISOR_GRANT_DELAY`) to reach the
+writers.  During the gap the writer keeps sending every sample, and
+the reader's deadline monitor — already expecting the *paced* period —
+used to count the still-unpaced arrivals as fine but then flag the
+first paced interval as a miss, kicking adaptive qoskets into another
+round of adaptation (flap).  The fix: the reader adopts the divisor
+locally at request time, downsampling in-flight traffic immediately
+and judging deadlines against the paced expectation, then reconciles
+when the grant lands.
+"""
+
+from repro.pubsub import (
+    Broker,
+    DataReader,
+    DataWriter,
+    QosPolicy,
+    Topic,
+)
+from repro.pubsub.broker import DIVISOR_GRANT_DELAY
+from repro.net import Network
+from repro.oskernel.host import Host
+from repro.sim import Kernel
+
+RATE_HZ = 20.0
+
+
+def _build():
+    kernel = Kernel()
+    net = Network(kernel, default_bandwidth_bps=10e6)
+    for name in ("pub", "sub", "brk"):
+        net.attach_host(Host(kernel, name))
+    router = net.add_router("router")
+    for name in ("pub", "sub", "brk"):
+        net.link(name, router, bandwidth_bps=10e6)
+    net.compute_routes()
+
+    broker = Broker(kernel, nic=net.nic_of("brk"), network=net)
+    topic = Topic("t", sample_bytes=100, rate_hz=RATE_HZ)
+    writer = DataWriter(kernel, topic, QosPolicy(deadline=1.0 / RATE_HZ),
+                        "w", nic=net.nic_of("pub"))
+    reader = DataReader(kernel, topic, QosPolicy(deadline=0.1), "r",
+                        nic=net.nic_of("sub"))
+    broker.register_writer(writer)
+    broker.register_reader(reader)
+    return kernel, broker, writer, reader
+
+
+def _publish_loop(kernel, writer, until):
+    interval = 1.0 / RATE_HZ
+
+    def tick():
+        if kernel.now > until:
+            return
+        writer.write()
+        kernel.schedule(interval, tick)
+
+    kernel.schedule(0.0, tick)
+
+
+def test_reader_paces_itself_during_the_grant_gap():
+    kernel, broker, writer, reader = _build()
+    _publish_loop(kernel, writer, until=2.0)
+
+    observed = {}
+
+    def request():
+        reader.request_divisor(15)
+        # Local adoption is immediate; the writers have not heard yet.
+        observed["pace_at_request"] = reader.pace_divisor
+        observed["match_at_request"] = next(
+            iter(reader.matched.values())).divisor
+
+    def after_grant():
+        observed["match_after_grant"] = next(
+            iter(reader.matched.values())).divisor
+
+    kernel.schedule_at(1.0, request)
+    kernel.schedule_at(1.0 + DIVISOR_GRANT_DELAY + 1e-6, after_grant)
+    kernel.run(until=2.5)
+
+    assert observed["pace_at_request"] == 15
+    assert observed["match_at_request"] == 1  # gap: writer-side unpaced
+    assert observed["match_after_grant"] == 15
+    assert broker.divisor_grants == 1
+    # In-flight unpaced samples were dropped locally, not delivered.
+    assert reader.downsampled >= 1
+    # Conservation: everything sent to the reader is accounted for.
+    sent = sum(m.sent for m in reader.matched.values())
+    assert sent == (reader.delivered + reader.duplicates
+                    + reader.stale_drops + reader.downsampled
+                    + reader.ownership_filtered + reader.from_unmatched)
+
+
+def test_no_deadline_flap_across_the_gap():
+    """The regression: deadline misses during and after the gap must
+    stay zero — the paced expectation starts at request time, not at
+    grant time."""
+    kernel, broker, writer, reader = _build()
+    _publish_loop(kernel, writer, until=4.0)
+    kernel.schedule_at(1.0, lambda: reader.request_divisor(15))
+    # Stop at the publish horizon: the silence *after* the stream ends
+    # is a real deadline violation, not part of the gap scenario.
+    kernel.run(until=4.0)
+    assert reader.deadline_misses == 0
+    assert reader.miss_streak == 0
+    assert writer.sends_suppressed > 0  # the grant did land writer-side
+
+
+def test_divisor_reset_restores_full_rate():
+    kernel, broker, writer, reader = _build()
+    _publish_loop(kernel, writer, until=4.0)
+    kernel.schedule_at(1.0, lambda: reader.request_divisor(15))
+    kernel.schedule_at(2.0, lambda: reader.request_divisor(1))
+    snapshot = {}
+    kernel.schedule_at(3.0, lambda: snapshot.update(
+        delivered=reader.delivered))
+    kernel.run(until=4.0)
+    assert reader.pace_divisor == 1
+    assert next(iter(reader.matched.values())).divisor == 1
+    # Full rate again over the final second: roughly one delivery per
+    # publish interval.
+    assert reader.delivered - snapshot["delivered"] >= int(RATE_HZ * 0.8)
+    # Scaling *down* (divisor 1) re-tightens the expectation before
+    # the writers resume full rate; at most that one transient check
+    # may miss — no sustained flap.
+    assert reader.deadline_misses <= 1
